@@ -1,0 +1,50 @@
+//! Regenerates Table I of the paper: all eight benchmarks through the 1φ,
+//! 4φ and T1 flows, with ratio columns and averages.
+//!
+//! ```sh
+//! cargo run --release -p sfq-bench --bin table1 [-- --small] [-- --csv out.csv]
+//! ```
+
+use sfq_bench::{paper_benchmarks, BenchmarkScale};
+use std::time::Instant;
+use t1map::cells::CellLibrary;
+use t1map::report::TableOne;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let csv_path = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let scale = if small { BenchmarkScale::small() } else { BenchmarkScale::paper() };
+    let lib = CellLibrary::default();
+    let n = 4;
+
+    println!(
+        "Table I — multiphase clocking with T1 cells ({} scale, n = {n} phases)\n",
+        if small { "small" } else { "paper" }
+    );
+    let mut table = TableOne::new();
+    for (name, aig) in paper_benchmarks(&scale) {
+        let t0 = Instant::now();
+        table.add(name, &aig, &lib, n);
+        eprintln!(
+            "  {name:<11} {:>6} ANDs  mapped in {:>7.1?}",
+            aig.and_count(),
+            t0.elapsed()
+        );
+    }
+    println!("\n{table}");
+    println!(
+        "paper averages for comparison: DFF T1/1φ 0.35, T1/4φ 0.94; \
+         area 0.59 / 0.94; depth 0.29 / 1.13"
+    );
+
+    if let Some(path) = csv_path {
+        std::fs::write(&path, table.to_csv()).expect("write CSV");
+        println!("CSV written to {path}");
+    }
+}

@@ -1,0 +1,106 @@
+//! # sfq-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper:
+//!
+//! - `table1` binary — the full Table I (all eight benchmarks × three
+//!   flows, ratio columns and averages), printed and written as CSV;
+//! - `ablation` binary — phase-count sweep and heuristic-vs-exact /
+//!   sharing-aware-retiming ablations (extensions beyond the paper);
+//! - Criterion benches (`table1`, `substrates`) — flow and substrate
+//!   runtime measurements.
+//!
+//! The paper-scale benchmark set is exposed as [`paper_benchmarks`] so the
+//! binaries, the Criterion benches and the integration tests agree on the
+//! exact workloads.
+
+use sfq_circuits::{epfl, iscas};
+use sfq_netlist::aig::Aig;
+
+/// Operand widths used for the Table-I reproduction.
+///
+/// The generators reproduce each benchmark's *structure class*
+/// (DESIGN.md §4); widths are chosen paper-scale where runtime permits and
+/// reduced otherwise (noted per benchmark in EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchmarkScale {
+    /// `adder` width (paper: 128).
+    pub adder_bits: usize,
+    /// `multiplier` width (paper: 64; array multipliers grow quadratically).
+    pub multiplier_bits: usize,
+    /// `square` width (paper: 64).
+    pub square_bits: usize,
+    /// `sin` fixed-point width (paper: 24).
+    pub sin_bits: usize,
+    /// `log2` width (paper: 32).
+    pub log2_bits: usize,
+    /// `voter` input count (paper: 1001).
+    pub voter_inputs: usize,
+}
+
+impl BenchmarkScale {
+    /// The scale used by the shipped Table-I reproduction.
+    pub fn paper() -> Self {
+        BenchmarkScale {
+            adder_bits: 128,
+            multiplier_bits: 32,
+            square_bits: 32,
+            sin_bits: 16,
+            log2_bits: 32,
+            voter_inputs: 255,
+        }
+    }
+
+    /// A small scale for CI and unit tests.
+    pub fn small() -> Self {
+        BenchmarkScale {
+            adder_bits: 16,
+            multiplier_bits: 8,
+            square_bits: 8,
+            sin_bits: 8,
+            log2_bits: 16,
+            voter_inputs: 31,
+        }
+    }
+}
+
+/// Builds the eight Table-I benchmarks (in the paper's row order) at the
+/// given scale.
+pub fn paper_benchmarks(scale: &BenchmarkScale) -> Vec<(&'static str, Aig)> {
+    vec![
+        ("adder", epfl::adder(scale.adder_bits)),
+        ("c7552", iscas::c7552_like()),
+        ("c6288", iscas::c6288_like()),
+        ("sin", epfl::sin(scale.sin_bits)),
+        ("voter", epfl::voter(scale.voter_inputs)),
+        ("square", epfl::square(scale.square_bits)),
+        ("multiplier", epfl::multiplier(scale.multiplier_bits)),
+        ("log2", epfl::log2(scale.log2_bits)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scale_builds_all_benchmarks() {
+        let benches = paper_benchmarks(&BenchmarkScale::small());
+        assert_eq!(benches.len(), 8);
+        for (name, aig) in &benches {
+            assert!(aig.and_count() > 10, "{name} too small");
+            assert!(aig.po_count() > 0, "{name} has no outputs");
+        }
+    }
+
+    #[test]
+    fn row_order_matches_paper() {
+        let names: Vec<&str> = paper_benchmarks(&BenchmarkScale::small())
+            .iter()
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(
+            names,
+            ["adder", "c7552", "c6288", "sin", "voter", "square", "multiplier", "log2"]
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! ISCAS-85-like benchmark generators.
+//!
+//! The paper uses `c6288` and `c7552`. Per the reverse-engineering study of
+//! Hansen et al. (ref \[13\] of the paper), c6288 is a 16×16 array multiplier
+//! and c7552 is a 34-bit adder/comparator with parity logic. We generate
+//! circuits with those structures directly (DESIGN.md §4).
+
+use crate::arith;
+use sfq_netlist::aig::{Aig, Lit};
+
+fn pis(g: &mut Aig, n: usize) -> Vec<Lit> {
+    (0..n).map(|_| g.add_pi()).collect()
+}
+
+/// A 16×16 array multiplier — the known structure of ISCAS-85 c6288.
+pub fn c6288_like() -> Aig {
+    let mut g = Aig::new();
+    let a = pis(&mut g, 16);
+    let b = pis(&mut g, 16);
+    for p in arith::array_multiplier(&mut g, &a, &b) {
+        g.add_po(p);
+    }
+    g
+}
+
+/// An ALU slice with the known c7552 ingredients: a 34-bit adder, a 34-bit
+/// magnitude comparator and input parity checkers.
+pub fn c7552_like() -> Aig {
+    let mut g = Aig::new();
+    let a = pis(&mut g, 34);
+    let b = pis(&mut g, 34);
+    // 34-bit addition.
+    let (sum, carry) = arith::ripple_carry_adder(&mut g, &a, &b, None);
+    for s in &sum {
+        g.add_po(*s);
+    }
+    g.add_po(carry);
+    // Magnitude comparison and equality.
+    let ge = arith::ge(&mut g, &a, &b);
+    let eq = arith::equals(&mut g, &a, &b);
+    g.add_po(ge);
+    g.add_po(eq);
+    // Parity trees over each operand and over the sum.
+    let pa = arith::parity(&mut g, &a);
+    let pb = arith::parity(&mut g, &b);
+    let ps = arith::parity(&mut g, &sum);
+    g.add_po(pa);
+    g.add_po(pb);
+    g.add_po(ps);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_bits(v: u64, w: usize) -> Vec<bool> {
+        (0..w).map(|i| (v >> i) & 1 == 1).collect()
+    }
+
+    fn from_bits(bits: &[bool]) -> u64 {
+        bits.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
+    }
+
+    #[test]
+    fn c6288_multiplies() {
+        let g = c6288_like();
+        assert_eq!(g.pi_count(), 32);
+        assert_eq!(g.po_count(), 32);
+        let mut input = to_bits(54321, 16);
+        input.extend(to_bits(12345, 16));
+        let out = g.eval(&input);
+        assert_eq!(from_bits(&out), 54321 * 12345);
+    }
+
+    #[test]
+    fn c7552_adds_and_compares() {
+        let g = c7552_like();
+        assert_eq!(g.pi_count(), 68);
+        let x = 0x2_FFFF_FFFFu64;
+        let y = 0x1_0000_0001u64;
+        let mut input = to_bits(x, 34);
+        input.extend(to_bits(y, 34));
+        let out = g.eval(&input);
+        let sum = from_bits(&out[..34]);
+        assert_eq!(sum, (x + y) & 0x3_FFFF_FFFF);
+        let carry = out[34];
+        assert_eq!(carry, (x + y) >> 34 & 1 == 1);
+        let ge = out[35];
+        let eq = out[36];
+        assert!(ge);
+        assert!(!eq);
+        let pa = out[37];
+        let pb = out[38];
+        assert_eq!(pa, x.count_ones() % 2 == 1);
+        assert_eq!(pb, y.count_ones() % 2 == 1);
+    }
+
+    #[test]
+    fn c6288_is_multiplier_scale() {
+        let g = c6288_like();
+        // c6288 has ~2400 gates; the array structure should be in that region.
+        assert!(g.and_count() > 1000, "and count {}", g.and_count());
+    }
+}

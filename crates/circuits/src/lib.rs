@@ -1,0 +1,29 @@
+//! # sfq-circuits
+//!
+//! Benchmark circuit generators standing in for the EPFL and ISCAS-85
+//! suites the paper evaluates on (the original AIG files are not
+//! redistributable; see DESIGN.md §4 for the substitution argument):
+//!
+//! - [`arith`] — word-level building blocks (adders, multipliers,
+//!   comparators, popcount, shifters),
+//! - [`epfl`] — `adder`, `multiplier`, `square`, `sin`, `log2`, `voter`,
+//! - [`iscas`] — `c6288_like` (16×16 array multiplier), `c7552_like`
+//!   (adder/comparator/parity ALU slice),
+//! - [`random`] — seeded random AIGs for property tests.
+//!
+//! # Example
+//!
+//! ```
+//! use sfq_circuits::epfl;
+//!
+//! // The paper's headline benchmark: the 128-bit adder.
+//! let g = epfl::adder128();
+//! assert_eq!(g.pi_count(), 256);
+//! ```
+
+pub mod arith;
+pub mod epfl;
+pub mod iscas;
+pub mod random;
+
+pub use random::{random_aig, RandomAigConfig};

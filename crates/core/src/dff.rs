@@ -1,0 +1,377 @@
+//! Path-balancing DFF insertion with fanout sharing (§II-C of the paper).
+//!
+//! Under `n`-phase clocking, a datum produced at stage `s` must be re-latched
+//! at least every `n` stages, and a consumer clocked at stage `t` must
+//! capture from an element at a stage in the window `[t − n, t − 1]`. All
+//! fanouts of one driver share a single DFF chain; consumers tap the chain
+//! at a suitable element.
+//!
+//! Two requirement kinds exist:
+//!
+//! - **Window(t)** — an ordinary clocked consumer at stage `t`: any tap in
+//!   `[t − n, t − 1]` works.
+//! - **Exact(τ)** — a T1 operand (eq. 5: the three deliveries must sit at
+//!   *pairwise distinct* stages `σ_T1 − 3, σ_T1 − 2, σ_T1 − 1`) or a primary
+//!   output (all outputs equalized to the horizon stage): the delivering
+//!   element must sit exactly at `τ`.
+//!
+//! The chain builder places members greedily, which is *optimal* for a fixed
+//! stage assignment: every exact stage is forced, and between forced points
+//! the gap constraint admits at most `⌈gap/n⌉ − 1` free members, which the
+//! greedy `+n` stepping achieves; window extension beyond the last forced
+//! point likewise adds the provably minimal `⌊(t − p − 1)/n⌋` members.
+
+use crate::mapped::{CellId, MappedCell, MappedCircuit};
+use crate::phase::Schedule;
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// A delivery requirement placed on a driver's DFF chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Requirement {
+    /// Consumer clocked at the given stage; tap within `[t − n, t − 1]`.
+    Window(i64),
+    /// Delivering element must sit exactly at the given stage.
+    Exact(i64),
+}
+
+/// Who a requirement belongs to (used to rebuild the netlist for simulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consumer {
+    /// Fanin slot of an ordinary gate.
+    GateInput {
+        /// Consuming cell.
+        cell: CellId,
+        /// Fanin slot.
+        slot: usize,
+    },
+    /// Operand slot of a T1 cell.
+    T1Input {
+        /// Consuming T1 cell.
+        cell: CellId,
+        /// Operand slot.
+        slot: usize,
+    },
+    /// Primary output.
+    Output {
+        /// Output index.
+        index: usize,
+    },
+}
+
+/// A shared DFF chain for one driver.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Chain {
+    /// Stages of the chain DFFs, ascending (the driver itself is not listed).
+    pub members: Vec<i64>,
+    /// For each requirement (in input order): the stage of the serving
+    /// element (`source` stage means the driver serves directly).
+    pub taps: Vec<i64>,
+}
+
+impl Chain {
+    /// Number of DFFs in the chain.
+    pub fn dff_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Number of splitters needed: each element (driver or DFF) with
+    /// fanout `f > 1` needs `f − 1` splitters.
+    pub fn splitter_count(&self, source: i64) -> u64 {
+        let mut fanout: HashMap<i64, u64> = HashMap::new();
+        for &t in &self.taps {
+            *fanout.entry(t).or_insert(0) += 1;
+        }
+        // Chain succession: source → members[0] → members[1] → …
+        if !self.members.is_empty() {
+            *fanout.entry(source).or_insert(0) += 1;
+            for w in self.members.windows(2) {
+                *fanout.entry(w[0]).or_insert(0) += 1;
+            }
+        }
+        fanout.values().map(|&f| f.saturating_sub(1)).sum()
+    }
+}
+
+/// Builds the minimal shared chain for one driver.
+///
+/// # Panics
+///
+/// Panics if a requirement is infeasible for the given source stage:
+/// `Exact(τ)` with `τ < source`, or `Window(t)` with `t <= source`.
+pub fn build_chain(source: i64, reqs: &[Requirement], n: i64) -> Chain {
+    assert!(n >= 1, "need at least one phase");
+    let mut members: BTreeSet<i64> = BTreeSet::new();
+    for r in reqs {
+        match *r {
+            Requirement::Exact(tau) => {
+                assert!(tau >= source, "exact delivery at {tau} before source {source}");
+                if tau > source {
+                    members.insert(tau);
+                }
+            }
+            Requirement::Window(t) => {
+                assert!(t > source, "consumer at {t} not after source {source}");
+            }
+        }
+    }
+    // Fill gaps so consecutive elements are at most n apart.
+    let mut filled: BTreeSet<i64> = BTreeSet::new();
+    let mut prev = source;
+    for &m in &members {
+        let mut p = prev;
+        while m - p > n {
+            p += n;
+            filled.insert(p);
+        }
+        filled.insert(m);
+        prev = m;
+    }
+    let mut members = filled;
+    // Extend for window consumers beyond the current chain end.
+    let mut windows: Vec<i64> = reqs
+        .iter()
+        .filter_map(|r| match *r {
+            Requirement::Window(t) => Some(t),
+            Requirement::Exact(_) => None,
+        })
+        .collect();
+    windows.sort_unstable();
+    for &t in &windows {
+        let mut p = members.range(..=t - 1).next_back().copied().unwrap_or(source);
+        while p < t - n {
+            p += n;
+            members.insert(p);
+        }
+    }
+    // Assign taps.
+    let member_vec: Vec<i64> = members.iter().copied().collect();
+    let taps: Vec<i64> = reqs
+        .iter()
+        .map(|r| match *r {
+            Requirement::Exact(tau) => tau,
+            Requirement::Window(t) => {
+                let p = members.range(..=t - 1).next_back().copied().unwrap_or(source);
+                debug_assert!(p >= t - n, "window consumer unserved");
+                p
+            }
+        })
+        .collect();
+    Chain { members: member_vec, taps }
+}
+
+/// The DFF chain of one driver, with its consumers.
+#[derive(Debug, Clone)]
+pub struct DriverPlan {
+    /// Driving cell and output port.
+    pub source: (CellId, u8),
+    /// Stage of the driver.
+    pub source_stage: i64,
+    /// The shared chain.
+    pub chain: Chain,
+    /// Consumers in the same order as `chain.taps`.
+    pub consumers: Vec<(Consumer, Requirement)>,
+}
+
+/// Complete DFF-insertion plan for a scheduled netlist.
+#[derive(Debug, Clone)]
+pub struct DffPlan {
+    /// Per-driver chains (only drivers with at least one consumer).
+    pub drivers: Vec<DriverPlan>,
+    /// Total path-balancing DFFs.
+    pub total_dffs: u64,
+    /// Total splitters.
+    pub total_splitters: u64,
+}
+
+impl DffPlan {
+    /// Looks up the plan for a given driver.
+    pub fn driver(&self, source: (CellId, u8)) -> Option<&DriverPlan> {
+        self.drivers.iter().find(|d| d.source == source)
+    }
+}
+
+/// Collects the consumer requirements of every driver under `sched`.
+pub fn collect_requirements(
+    mc: &MappedCircuit,
+    sched: &Schedule,
+) -> HashMap<(CellId, u8), Vec<(Consumer, Requirement)>> {
+    let mut map: HashMap<(CellId, u8), Vec<(Consumer, Requirement)>> = HashMap::new();
+    for (id, cell) in mc.cells() {
+        match cell {
+            MappedCell::Input { .. } | MappedCell::Const0 => {}
+            MappedCell::Gate { fanins, .. } => {
+                for (slot, e) in fanins.iter().enumerate() {
+                    map.entry((e.cell, e.port)).or_default().push((
+                        Consumer::GateInput { cell: id, slot },
+                        Requirement::Window(sched.stages[id.index()]),
+                    ));
+                }
+            }
+            MappedCell::T1 { fanins } => {
+                let offsets = sched.t1_offsets[id.index()].expect("T1 cell has offsets");
+                for (slot, e) in fanins.iter().enumerate() {
+                    let tau = sched.stages[id.index()] - offsets[slot];
+                    map.entry((e.cell, e.port)).or_default().push((
+                        Consumer::T1Input { cell: id, slot },
+                        Requirement::Exact(tau),
+                    ));
+                }
+            }
+        }
+    }
+    for (index, e) in mc.pos().iter().enumerate() {
+        // Constant outputs need no balancing.
+        if matches!(mc.cell(e.cell), MappedCell::Const0) {
+            continue;
+        }
+        // Outputs are captured by the environment at stage horizon + 1:
+        // every PO must deliver within that capture window (same epoch),
+        // i.e. latency-equalized to the cycle granularity.
+        map.entry((e.cell, e.port)).or_default().push((
+            Consumer::Output { index },
+            Requirement::Window(sched.horizon + 1),
+        ));
+    }
+    map
+}
+
+/// Inserts shared DFF chains for every driver of the scheduled netlist.
+pub fn insert_dffs(mc: &MappedCircuit, sched: &Schedule) -> DffPlan {
+    let reqs = collect_requirements(mc, sched);
+    let n = sched.n as i64;
+    let mut drivers = Vec::with_capacity(reqs.len());
+    let mut total_dffs = 0u64;
+    let mut total_splitters = 0u64;
+    let mut sorted: Vec<_> = reqs.into_iter().collect();
+    sorted.sort_by_key(|((c, p), _)| (*c, *p));
+    for ((cell, port), consumers) in sorted {
+        let source_stage = sched.stages[cell.index()];
+        let rs: Vec<Requirement> = consumers.iter().map(|&(_, r)| r).collect();
+        let chain = build_chain(source_stage, &rs, n);
+        total_dffs += chain.dff_count() as u64;
+        total_splitters += chain.splitter_count(source_stage);
+        drivers.push(DriverPlan { source: (cell, port), source_stage, chain, consumers });
+    }
+    DffPlan { drivers, total_dffs, total_splitters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_phase_full_balancing() {
+        // Source at 0, consumer window at stage 5, n = 1: 4 DFFs at 1..4.
+        let c = build_chain(0, &[Requirement::Window(5)], 1);
+        assert_eq!(c.members, vec![1, 2, 3, 4]);
+        assert_eq!(c.taps, vec![4]);
+    }
+
+    #[test]
+    fn four_phase_reduces_dffs() {
+        // Same span under n = 4: data survives 4 stages → 1 DFF.
+        let c = build_chain(0, &[Requirement::Window(5)], 4);
+        assert_eq!(c.members, vec![4]);
+        assert_eq!(c.taps, vec![4]);
+    }
+
+    #[test]
+    fn adjacent_consumer_needs_nothing() {
+        let c = build_chain(3, &[Requirement::Window(4)], 1);
+        assert!(c.members.is_empty());
+        assert_eq!(c.taps, vec![3]);
+    }
+
+    #[test]
+    fn shared_chain_is_max_not_sum() {
+        // Consumers at 3, 5, 9 under n = 1: one chain of 8 DFFs serves all.
+        let c = build_chain(
+            0,
+            &[Requirement::Window(3), Requirement::Window(5), Requirement::Window(9)],
+            1,
+        );
+        assert_eq!(c.dff_count(), 8);
+        assert_eq!(c.taps, vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn window_taps_latest_feasible() {
+        let c = build_chain(0, &[Requirement::Window(10), Requirement::Window(6)], 4);
+        // Chain: 4, 8 (gap-filled by extension); consumer 6 taps 4, 10 taps 8.
+        assert_eq!(c.members, vec![4, 8]);
+        assert_eq!(c.taps, vec![8, 4]);
+    }
+
+    #[test]
+    fn exact_requirements_are_members() {
+        let c = build_chain(
+            2,
+            &[Requirement::Exact(7), Requirement::Exact(6), Requirement::Exact(5)],
+            4,
+        );
+        assert_eq!(c.members, vec![5, 6, 7]);
+        assert_eq!(c.taps, vec![7, 6, 5]);
+    }
+
+    #[test]
+    fn exact_at_source_taps_driver() {
+        let c = build_chain(4, &[Requirement::Exact(4)], 4);
+        assert!(c.members.is_empty());
+        assert_eq!(c.taps, vec![4]);
+    }
+
+    #[test]
+    fn gap_filling_between_exacts() {
+        // Source 0, exact at 9, n = 4 → fill 4, 8, then 9.
+        let c = build_chain(0, &[Requirement::Exact(9)], 4);
+        assert_eq!(c.members, vec![4, 8, 9]);
+    }
+
+    #[test]
+    fn count_matches_closed_form_for_single_window() {
+        for n in 1..=6i64 {
+            for t in 1..=20i64 {
+                let c = build_chain(0, &[Requirement::Window(t)], n);
+                let expect = ((t - 1).max(0)) / n; // floor((t − s − 1)/n)
+                assert_eq!(c.dff_count() as i64, expect, "t={t} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn splitter_counting() {
+        // Source drives chain + a direct tap → 1 splitter at the source.
+        let c = build_chain(0, &[Requirement::Window(1), Requirement::Window(5)], 1);
+        // Members 1..4; taps: 0 (direct) and 4.
+        assert_eq!(c.taps, vec![0, 4]);
+        // Source fanout: chain successor + direct tap = 2 → 1 splitter.
+        // Member 4 is the last and taps one consumer → fanout 1 → 0.
+        // Members 1..3 drive only successors → 0.
+        assert_eq!(c.splitter_count(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before source")]
+    fn infeasible_exact_panics() {
+        build_chain(5, &[Requirement::Exact(3)], 2);
+    }
+
+    #[test]
+    fn mixed_exact_and_window() {
+        // T1 deliveries at 5,6,7 plus a window consumer at 12, n = 4.
+        let c = build_chain(
+            1,
+            &[
+                Requirement::Exact(5),
+                Requirement::Exact(6),
+                Requirement::Exact(7),
+                Requirement::Window(12),
+            ],
+            4,
+        );
+        // 5,6,7 forced; window 12 needs an element ≥ 8: extend with 11.
+        assert_eq!(c.members, vec![5, 6, 7, 11]);
+        assert_eq!(c.taps, vec![5, 6, 7, 11]);
+    }
+}

@@ -1,0 +1,230 @@
+//! End-to-end mapping flows (§III of the paper).
+//!
+//! Three flows are compared in Table I:
+//!
+//! - **1φ** — baseline mapping, single-phase clocking (classic full path
+//!   balancing),
+//! - **4φ** — baseline mapping, multiphase clocking without T1 cells
+//!   (ref \[10\]),
+//! - **T1** — the proposed flow: T1 detection → T1-aware mapping →
+//!   multiphase phase assignment with eq. (3) → DFF insertion with eq. (5).
+//!
+//! Each flow produces a [`FlowResult`] bundling the mapped netlist, the
+//! schedule, the DFF plan and the aggregate [`FlowStats`] (the paper's
+//! Table-I metrics: #DFF, area in JJs, depth in cycles, T1 found/used).
+
+use crate::cells::CellLibrary;
+use crate::detect::{detect_with_attribution, DetectConfig};
+use crate::dff::{insert_dffs, DffPlan};
+use crate::mapped::MappedCircuit;
+use crate::mapper::{map, MapResult};
+use crate::phase::{assign_phases, assign_phases_exact, Schedule};
+use sfq_netlist::aig::Aig;
+
+/// Phase-assignment engine selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PhaseEngine {
+    /// ASAP + DFF-aware local search (scalable; Table-I default).
+    #[default]
+    Heuristic,
+    /// Exact MILP (§II-B); small instances only.
+    Exact,
+}
+
+/// Configuration of a mapping flow.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Number of clock phases `n`.
+    pub phases: u32,
+    /// Enable T1 detection and instantiation.
+    pub use_t1: bool,
+    /// Phase-assignment engine.
+    pub engine: PhaseEngine,
+    /// Local-search passes for the heuristic engine.
+    pub opt_passes: usize,
+    /// T1 detection parameters.
+    pub detect: DetectConfig,
+}
+
+impl FlowConfig {
+    /// The paper's single-phase baseline (1φ).
+    pub fn single_phase() -> Self {
+        FlowConfig {
+            phases: 1,
+            use_t1: false,
+            engine: PhaseEngine::Heuristic,
+            opt_passes: 2,
+            detect: DetectConfig::default(),
+        }
+    }
+
+    /// The paper's multiphase baseline without T1 (4φ by default).
+    pub fn multiphase(n: u32) -> Self {
+        FlowConfig { phases: n, ..Self::single_phase() }
+    }
+
+    /// The proposed T1 flow under `n` phases (the paper evaluates n = 4).
+    pub fn t1(n: u32) -> Self {
+        FlowConfig { phases: n, use_t1: true, ..Self::single_phase() }
+    }
+}
+
+/// Aggregate metrics of a flow run (one Table-I cell group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Candidate T1 groups found (0 for non-T1 flows).
+    pub t1_found: usize,
+    /// T1 cells instantiated.
+    pub t1_used: usize,
+    /// Path-balancing DFFs.
+    pub dffs: u64,
+    /// Splitters.
+    pub splitters: u64,
+    /// Logic-cell area in JJs (gates + T1 assemblies).
+    pub cell_area: u64,
+    /// Total area in JJs (cells + DFFs + splitters).
+    pub area: u64,
+    /// Logic depth in clock cycles.
+    pub depth_cycles: i64,
+    /// Number of logic gates.
+    pub gates: usize,
+}
+
+/// Everything produced by one flow run.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The mapped netlist.
+    pub mapped: MappedCircuit,
+    /// The stage assignment.
+    pub schedule: Schedule,
+    /// The DFF-insertion plan.
+    pub plan: DffPlan,
+    /// Aggregate metrics.
+    pub stats: FlowStats,
+}
+
+/// Runs a complete flow on `aig`.
+///
+/// # Panics
+///
+/// Panics if `config.use_t1` with fewer than 3 phases, or if the exact
+/// engine fails on an instance it cannot solve (use the heuristic for large
+/// netlists).
+pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult {
+    assert!(
+        !config.use_t1 || config.phases >= 3,
+        "T1 staggering needs at least 3 phases"
+    );
+    let (map_result, t1_found): (MapResult, usize) = if config.use_t1 {
+        let baseline = map(aig, lib, None);
+        let det = detect_with_attribution(aig, lib, &config.detect, &baseline.attribution);
+        let found = det.found();
+        (map(aig, lib, Some(&det.selection)), found)
+    } else {
+        (map(aig, lib, None), 0)
+    };
+    let mc = map_result.circuit;
+    let schedule = match config.engine {
+        PhaseEngine::Heuristic => assign_phases(&mc, config.phases, config.opt_passes),
+        PhaseEngine::Exact => {
+            assign_phases_exact(&mc, config.phases).expect("exact phase assignment failed")
+        }
+    };
+    let plan = insert_dffs(&mc, &schedule);
+    let cell_area = mc.cell_area(lib);
+    let area = cell_area
+        + plan.total_dffs * lib.dff as u64
+        + plan.total_splitters * lib.splitter as u64;
+    let stats = FlowStats {
+        t1_found,
+        t1_used: map_result.t1_used,
+        dffs: plan.total_dffs,
+        splitters: plan.total_splitters,
+        cell_area,
+        area,
+        depth_cycles: schedule.depth_cycles(),
+        gates: mc.gate_count(),
+    };
+    FlowResult { mapped: mc, schedule, plan, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_circuits::epfl::adder;
+
+    #[test]
+    fn three_flows_on_small_adder() {
+        let lib = CellLibrary::default();
+        let aig = adder(8);
+        let f1 = run_flow(&aig, &lib, &FlowConfig::single_phase());
+        let f4 = run_flow(&aig, &lib, &FlowConfig::multiphase(4));
+        let ft = run_flow(&aig, &lib, &FlowConfig::t1(4));
+
+        // Multiphase slashes DFFs relative to single phase (paper: ~0.18–0.5×).
+        assert!(
+            f4.stats.dffs * 2 < f1.stats.dffs,
+            "4φ DFFs {} vs 1φ {}",
+            f4.stats.dffs,
+            f1.stats.dffs
+        );
+        // T1 flow finds and uses cells on an adder.
+        assert!(ft.stats.t1_used >= 6, "t1 used {}", ft.stats.t1_used);
+        // T1 area beats the 4φ baseline on adders (paper: 0.75×).
+        assert!(
+            ft.stats.area < f4.stats.area,
+            "T1 area {} vs 4φ {}",
+            ft.stats.area,
+            f4.stats.area
+        );
+        // Depth in cycles: 4φ ≈ depth/4.
+        assert!(f4.stats.depth_cycles <= f1.stats.depth_cycles / 3);
+    }
+
+    #[test]
+    fn flows_preserve_function() {
+        let lib = CellLibrary::default();
+        let aig = adder(6);
+        for cfg in [FlowConfig::single_phase(), FlowConfig::multiphase(4), FlowConfig::t1(4)] {
+            let res = run_flow(&aig, &lib, &cfg);
+            let mut state = 0x9E3779B97F4A7C15u64;
+            for _ in 0..4 {
+                let inputs: Vec<u64> = (0..aig.pi_count())
+                    .map(|_| {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    })
+                    .collect();
+                assert_eq!(aig.eval64(&inputs), res.mapped.eval64(&inputs));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_engine_on_tiny_circuit() {
+        let lib = CellLibrary::default();
+        let aig = adder(2);
+        let mut cfg = FlowConfig::multiphase(2);
+        cfg.engine = PhaseEngine::Exact;
+        let exact = run_flow(&aig, &lib, &cfg);
+        let heur = run_flow(&aig, &lib, &FlowConfig::multiphase(2));
+        assert!(exact.stats.dffs <= heur.stats.dffs + 2);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let lib = CellLibrary::default();
+        let aig = adder(5);
+        let res = run_flow(&aig, &lib, &FlowConfig::t1(4));
+        assert_eq!(
+            res.stats.area,
+            res.stats.cell_area
+                + res.stats.dffs * lib.dff as u64
+                + res.stats.splitters * lib.splitter as u64
+        );
+        assert_eq!(res.stats.dffs, res.plan.total_dffs);
+        res.schedule.validate(&res.mapped).unwrap();
+    }
+}

@@ -1,0 +1,468 @@
+//! And-inverter graphs with structural hashing.
+//!
+//! The [`Aig`] is the subject network of the mapping flow — the Rust
+//! equivalent of mockturtle's `aig_network`. Nodes are two-input ANDs;
+//! inverters live on edges as complement bits of [`Lit`]s. Construction
+//! performs constant folding, trivial simplification and structural hashing,
+//! so equivalent two-level structures share nodes.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_netlist::aig::Aig;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_pi();
+//! let b = aig.add_pi();
+//! let sum = aig.xor(a, b);
+//! aig.add_po(sum);
+//! assert_eq!(aig.and_count(), 3); // xor = 3 ANDs
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node inside an [`Aig`]. Node 0 is the constant-zero node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The constant-zero node present in every AIG.
+    pub const CONST0: NodeId = NodeId(0);
+
+    /// Index as `usize` for direct slice access.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a node reference plus an optional complement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal.
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal.
+    pub const TRUE: Lit = Lit(1);
+
+    /// Builds a literal from a node and complement flag.
+    pub fn new(node: NodeId, complement: bool) -> Self {
+        Lit(node.0 << 1 | complement as u32)
+    }
+
+    /// The node this literal refers to.
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the literal is complemented.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    pub fn complement(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// This literal with complement flag set to `c`.
+    pub fn with_complement(self, c: bool) -> Lit {
+        Lit(self.0 & !1 | c as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        self.complement()
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complement() {
+            write!(f, "!n{}", self.node().0)
+        } else {
+            write!(f, "n{}", self.node().0)
+        }
+    }
+}
+
+/// Node payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// The constant-zero node (always node 0).
+    Const0,
+    /// Primary input; the payload is the PI ordinal.
+    Input(u32),
+    /// Two-input AND of the given literals.
+    And(Lit, Lit),
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    kind: NodeKind,
+    /// Number of AND nodes and primary outputs referencing this node.
+    fanout: u32,
+}
+
+/// An and-inverter graph.
+///
+/// Nodes are stored in topological order by construction (an AND can only be
+/// created after its fanins), so iteration over `0..len` is a valid forward
+/// traversal.
+#[derive(Debug, Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    pis: Vec<NodeId>,
+    pos: Vec<Lit>,
+    strash: HashMap<(Lit, Lit), NodeId>,
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node { kind: NodeKind::Const0, fanout: 0 }],
+            pis: Vec::new(),
+            pos: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Adds a primary input and returns its positive literal.
+    pub fn add_pi(&mut self) -> Lit {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind: NodeKind::Input(self.pis.len() as u32), fanout: 0 });
+        self.pis.push(id);
+        Lit::new(id, false)
+    }
+
+    /// Registers `lit` as a primary output.
+    pub fn add_po(&mut self, lit: Lit) {
+        self.nodes[lit.node().index()].fanout += 1;
+        self.pos.push(lit);
+    }
+
+    /// AND of two literals with simplification and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Trivial cases.
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        // Normalize operand order for hashing.
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&(a, b)) {
+            return Lit::new(id, false);
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { kind: NodeKind::And(a, b), fanout: 0 });
+        self.nodes[a.node().index()].fanout += 1;
+        self.nodes[b.node().index()].fanout += 1;
+        self.strash.insert((a, b), id);
+        Lit::new(id, false)
+    }
+
+    /// OR of two literals.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR of two literals (three AND nodes).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let left = self.and(a, !b);
+        let right = self.and(!a, b);
+        self.or(left, right)
+    }
+
+    /// XNOR of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Three-input majority.
+    pub fn maj3(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// Three-input XOR.
+    pub fn xor3(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let t = self.xor(a, b);
+        self.xor(t, c)
+    }
+
+    /// If-then-else `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let pt = self.and(sel, t);
+        let pe = self.and(!sel, e);
+        self.or(pt, pe)
+    }
+
+    /// Number of nodes including constant and PIs.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the network has no gates and no inputs.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1 && self.pos.is_empty()
+    }
+
+    /// Number of AND gates.
+    pub fn and_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, NodeKind::And(..)))
+            .count()
+    }
+
+    /// Number of primary inputs.
+    pub fn pi_count(&self) -> usize {
+        self.pis.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn po_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// The primary inputs in declaration order.
+    pub fn pis(&self) -> &[NodeId] {
+        &self.pis
+    }
+
+    /// The primary output literals in declaration order.
+    pub fn pos(&self) -> &[Lit] {
+        &self.pos
+    }
+
+    /// Kind of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.nodes[id.index()].kind
+    }
+
+    /// Fanins of an AND node, or `None` for PIs/constant.
+    pub fn fanins(&self, id: NodeId) -> Option<(Lit, Lit)> {
+        match self.nodes[id.index()].kind {
+            NodeKind::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Combined fanout count (ANDs + POs referencing the node).
+    pub fn fanout_count(&self, id: NodeId) -> u32 {
+        self.nodes[id.index()].fanout
+    }
+
+    /// Iterator over all node ids in topological order (constant and PIs first).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over AND-node ids in topological order.
+    pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.node_ids()
+            .filter(move |id| matches!(self.nodes[id.index()].kind, NodeKind::And(..)))
+    }
+
+    /// Logic level of every node (PIs and constant at level 0).
+    pub fn levels(&self) -> Vec<u32> {
+        let mut lev = vec![0u32; self.nodes.len()];
+        for id in self.node_ids() {
+            if let NodeKind::And(a, b) = self.nodes[id.index()].kind {
+                lev[id.index()] = 1 + lev[a.node().index()].max(lev[b.node().index()]);
+            }
+        }
+        lev
+    }
+
+    /// Depth of the network: maximum level over primary outputs.
+    pub fn depth(&self) -> u32 {
+        let lev = self.levels();
+        self.pos
+            .iter()
+            .map(|l| lev[l.node().index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluates all primary outputs on 64 input vectors at once.
+    ///
+    /// `inputs[i]` packs 64 Boolean values of PI `i`; the result packs the
+    /// corresponding output values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != pi_count()`.
+    pub fn eval64(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.pis.len(), "one word per primary input required");
+        let mut val = vec![0u64; self.nodes.len()];
+        for id in self.node_ids() {
+            val[id.index()] = match self.nodes[id.index()].kind {
+                NodeKind::Const0 => 0,
+                NodeKind::Input(i) => inputs[i as usize],
+                NodeKind::And(a, b) => {
+                    let va = val[a.node().index()] ^ if a.is_complement() { u64::MAX } else { 0 };
+                    let vb = val[b.node().index()] ^ if b.is_complement() { u64::MAX } else { 0 };
+                    va & vb
+                }
+            };
+        }
+        self.pos
+            .iter()
+            .map(|l| val[l.node().index()] ^ if l.is_complement() { u64::MAX } else { 0 })
+            .collect()
+    }
+
+    /// Evaluates on a single Boolean assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != pi_count()`.
+    pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        self.eval64(&words).into_iter().map(|w| w & 1 == 1).collect()
+    }
+
+    /// Reference counts equal to fanout; exposed for MFFC computation.
+    pub(crate) fn fanout_counts(&self) -> Vec<u32> {
+        self.nodes.iter().map(|n| n.fanout).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_simplifications() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(Lit::TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), Lit::FALSE);
+        assert_eq!(g.and_count(), 0);
+    }
+
+    #[test]
+    fn structural_hashing_shares_nodes() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(g.and_count(), 1);
+    }
+
+    #[test]
+    fn xor_truth() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.xor(a, b);
+        g.add_po(x);
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let out = g.eval(&[va, vb]);
+            assert_eq!(out[0], va ^ vb, "xor({va},{vb})");
+        }
+    }
+
+    #[test]
+    fn maj3_truth() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let m = g.maj3(a, b, c);
+        g.add_po(m);
+        for idx in 0..8u32 {
+            let bits = [idx & 1 == 1, idx >> 1 & 1 == 1, idx >> 2 & 1 == 1];
+            let out = g.eval(&bits);
+            let ones = bits.iter().filter(|&&b| b).count();
+            assert_eq!(out[0], ones >= 2, "maj at {idx}");
+        }
+    }
+
+    #[test]
+    fn mux_truth() {
+        let mut g = Aig::new();
+        let s = g.add_pi();
+        let t = g.add_pi();
+        let e = g.add_pi();
+        let m = g.mux(s, t, e);
+        g.add_po(m);
+        for idx in 0..8u32 {
+            let bits = [idx & 1 == 1, idx >> 1 & 1 == 1, idx >> 2 & 1 == 1];
+            let out = g.eval(&bits);
+            let expect = if bits[0] { bits[1] } else { bits[2] };
+            assert_eq!(out[0], expect, "mux at {idx}");
+        }
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        g.add_po(abc);
+        assert_eq!(g.depth(), 2);
+        let lev = g.levels();
+        assert_eq!(lev[ab.node().index()], 1);
+        assert_eq!(lev[abc.node().index()], 2);
+    }
+
+    #[test]
+    fn complemented_po() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        g.add_po(!a);
+        assert_eq!(g.eval(&[true]), vec![false]);
+        assert_eq!(g.eval(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn eval64_packs_vectors() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.xor(a, b);
+        g.add_po(x);
+        let va = 0b1010u64;
+        let vb = 0b0110u64;
+        let out = g.eval64(&[va, vb]);
+        assert_eq!(out[0] & 0xF, (va ^ vb) & 0xF);
+    }
+
+    #[test]
+    fn fanout_counting() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        let y = g.and(x, a);
+        g.add_po(y);
+        g.add_po(x);
+        assert_eq!(g.fanout_count(x.node()), 2); // y + PO
+        assert_eq!(g.fanout_count(a.node()), 2); // x + y
+    }
+}

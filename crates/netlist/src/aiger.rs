@@ -1,0 +1,529 @@
+//! AIGER file I/O (ASCII `aag` and binary `aig` formats).
+//!
+//! The AIGER format (Biere, FMV Reports 07/1 and 11/2) is the interchange
+//! format of the EPFL/ISCAS benchmark suites the paper evaluates on. This
+//! module reads and writes combinational AIGER files, so the flow can be run
+//! on the original benchmark files when they are available (our generators
+//! in `sfq-circuits` stand in when they are not).
+//!
+//! Latches are not supported (the paper's flow is combinational); files
+//! containing latches are rejected.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_netlist::aig::Aig;
+//! use sfq_netlist::aiger::{read_ascii, write_ascii};
+//!
+//! let mut g = Aig::new();
+//! let a = g.add_pi();
+//! let b = g.add_pi();
+//! let c = g.and(a, b);
+//! g.add_po(c);
+//!
+//! let text = write_ascii(&g);
+//! let back = read_ascii(&text)?;
+//! assert_eq!(back.pi_count(), 2);
+//! assert_eq!(back.and_count(), 1);
+//! # Ok::<(), sfq_netlist::aiger::ParseAigerError>(())
+//! ```
+
+use crate::aig::{Aig, Lit, NodeId, NodeKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while parsing an AIGER file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseAigerError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// A body line is malformed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        reason: String,
+    },
+    /// The file contains latches (sequential AIGER), which are unsupported.
+    LatchesUnsupported,
+    /// A literal exceeds the declared maximum variable index.
+    LiteralOutOfRange(u64),
+    /// An AND gate's fanin is not defined before use.
+    UndefinedFanin(u64),
+    /// Binary payload truncated or malformed.
+    BadBinary(String),
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAigerError::BadHeader(s) => write!(f, "bad AIGER header: {s}"),
+            ParseAigerError::BadLine { line, reason } => {
+                write!(f, "bad AIGER line {line}: {reason}")
+            }
+            ParseAigerError::LatchesUnsupported => {
+                f.write_str("sequential AIGER (latches) unsupported")
+            }
+            ParseAigerError::LiteralOutOfRange(l) => write!(f, "literal {l} out of range"),
+            ParseAigerError::UndefinedFanin(l) => write!(f, "fanin literal {l} undefined"),
+            ParseAigerError::BadBinary(s) => write!(f, "bad binary AIGER: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAigerError {}
+
+struct Header {
+    max_var: u64,
+    inputs: u64,
+    latches: u64,
+    outputs: u64,
+    ands: u64,
+}
+
+fn parse_header(line: &str, magic: &str) -> Result<Header, ParseAigerError> {
+    let mut parts = line.split_whitespace();
+    let tag = parts.next().unwrap_or("");
+    if tag != magic {
+        return Err(ParseAigerError::BadHeader(format!("expected '{magic}', got '{tag}'")));
+    }
+    let nums: Vec<u64> = parts
+        .map(|p| p.parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| ParseAigerError::BadHeader(e.to_string()))?;
+    if nums.len() != 5 {
+        return Err(ParseAigerError::BadHeader(format!(
+            "expected 5 counts, got {}",
+            nums.len()
+        )));
+    }
+    Ok(Header {
+        max_var: nums[0],
+        inputs: nums[1],
+        latches: nums[2],
+        outputs: nums[3],
+        ands: nums[4],
+    })
+}
+
+/// Parser state: external AIGER variable → our literal.
+struct VarMap {
+    map: Vec<Option<Lit>>,
+}
+
+impl VarMap {
+    fn new(max_var: u64) -> Self {
+        let mut map = vec![None; (max_var + 1) as usize];
+        map[0] = Some(Lit::FALSE);
+        VarMap { map }
+    }
+
+    fn define(&mut self, ext_lit: u64, lit: Lit) -> Result<(), ParseAigerError> {
+        let var = (ext_lit >> 1) as usize;
+        if var >= self.map.len() {
+            return Err(ParseAigerError::LiteralOutOfRange(ext_lit));
+        }
+        // A defining literal is always even; fold any complement here.
+        self.map[var] = Some(lit.with_complement(lit.is_complement() ^ (ext_lit & 1 == 1)));
+        Ok(())
+    }
+
+    fn resolve(&self, ext_lit: u64) -> Result<Lit, ParseAigerError> {
+        let var = (ext_lit >> 1) as usize;
+        if var >= self.map.len() {
+            return Err(ParseAigerError::LiteralOutOfRange(ext_lit));
+        }
+        let base = self.map[var].ok_or(ParseAigerError::UndefinedFanin(ext_lit))?;
+        Ok(if ext_lit & 1 == 1 { !base } else { base })
+    }
+}
+
+/// Parses an ASCII AIGER (`aag`) file.
+///
+/// # Errors
+///
+/// Any structural problem yields a [`ParseAigerError`]; see the variants.
+pub fn read_ascii(text: &str) -> Result<Aig, ParseAigerError> {
+    let mut lines = text.lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| ParseAigerError::BadHeader("empty file".into()))?;
+    let h = parse_header(header_line, "aag")?;
+    if h.latches != 0 {
+        return Err(ParseAigerError::LatchesUnsupported);
+    }
+
+    let mut g = Aig::new();
+    let mut vars = VarMap::new(h.max_var);
+    let mut body = lines.map(str::trim).filter(|l| !l.is_empty());
+    let mut take = |what: &str| -> Result<&str, ParseAigerError> {
+        body.next()
+            .ok_or_else(|| ParseAigerError::BadHeader(format!("missing {what} line")))
+    };
+
+    for _ in 0..h.inputs {
+        let l = take("input")?;
+        let lit: u64 = l
+            .parse()
+            .map_err(|_| ParseAigerError::BadHeader(format!("bad input literal '{l}'")))?;
+        if lit & 1 == 1 || lit == 0 {
+            return Err(ParseAigerError::BadHeader(format!(
+                "input literal {lit} must be positive and even"
+            )));
+        }
+        let pi = g.add_pi();
+        vars.define(lit, pi)?;
+    }
+
+    let mut outputs = Vec::with_capacity(h.outputs as usize);
+    for _ in 0..h.outputs {
+        let l = take("output")?;
+        let lit: u64 = l
+            .parse()
+            .map_err(|_| ParseAigerError::BadHeader(format!("bad output literal '{l}'")))?;
+        outputs.push(lit);
+    }
+
+    for _ in 0..h.ands {
+        let l = take("and gate")?;
+        let nums: Vec<u64> = l
+            .split_whitespace()
+            .map(|p| p.parse())
+            .collect::<Result<_, _>>()
+            .map_err(|_| ParseAigerError::BadHeader(format!("bad and line '{l}'")))?;
+        if nums.len() != 3 {
+            return Err(ParseAigerError::BadHeader(format!(
+                "and line '{l}' needs 3 literals"
+            )));
+        }
+        let (lhs, r0, r1) = (nums[0], nums[1], nums[2]);
+        if lhs & 1 == 1 {
+            return Err(ParseAigerError::BadHeader(format!("and lhs {lhs} must be even")));
+        }
+        let a = vars.resolve(r0)?;
+        let b = vars.resolve(r1)?;
+        // Structural hashing/simplification may fold the node; record
+        // whatever literal now carries the function.
+        let out = g.and(a, b);
+        vars.define(lhs, out)?;
+    }
+
+    for ext in outputs {
+        let lit = vars.resolve(ext)?;
+        g.add_po(lit);
+    }
+    Ok(g)
+}
+
+/// Serializes an AIG as an ASCII AIGER (`aag`) string.
+///
+/// The output is canonical: variables are numbered constant-first, then
+/// inputs, then AND gates in topological order.
+pub fn write_ascii(aig: &Aig) -> String {
+    let (order, ext_of) = externalize(aig);
+    let num_ands = order.len();
+    let mut out = format!(
+        "aag {} {} 0 {} {}\n",
+        aig.pi_count() + num_ands,
+        aig.pi_count(),
+        aig.po_count(),
+        num_ands
+    );
+    for i in 0..aig.pi_count() {
+        out.push_str(&format!("{}\n", (i as u64 + 1) * 2));
+    }
+    for po in aig.pos() {
+        out.push_str(&format!("{}\n", ext_lit(*po, &ext_of)));
+    }
+    for &node in &order {
+        let (a, b) = aig.fanins(node).expect("order contains only AND nodes");
+        out.push_str(&format!(
+            "{} {} {}\n",
+            ext_of[&node] * 2,
+            ext_lit(a, &ext_of),
+            ext_lit(b, &ext_of)
+        ));
+    }
+    out
+}
+
+/// Parses a binary AIGER (`aig`) file.
+///
+/// # Errors
+///
+/// See [`ParseAigerError`]; truncated delta codes yield
+/// [`ParseAigerError::BadBinary`].
+pub fn read_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
+    // Header is the ASCII first line.
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| ParseAigerError::BadHeader("no newline after header".into()))?;
+    let header_line = std::str::from_utf8(&bytes[..nl])
+        .map_err(|_| ParseAigerError::BadHeader("non-UTF8 header".into()))?;
+    let h = parse_header(header_line, "aig")?;
+    if h.latches != 0 {
+        return Err(ParseAigerError::LatchesUnsupported);
+    }
+    if h.max_var != h.inputs + h.ands {
+        return Err(ParseAigerError::BadHeader(format!(
+            "binary AIGER requires M = I + A (got {} vs {} + {})",
+            h.max_var, h.inputs, h.ands
+        )));
+    }
+    let mut pos = nl + 1;
+
+    // Outputs: one ASCII literal per line.
+    let mut outputs = Vec::with_capacity(h.outputs as usize);
+    for _ in 0..h.outputs {
+        let end = bytes[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| ParseAigerError::BadBinary("truncated outputs".into()))?;
+        let line = std::str::from_utf8(&bytes[pos..pos + end])
+            .map_err(|_| ParseAigerError::BadBinary("non-UTF8 output line".into()))?;
+        let lit: u64 = line
+            .trim()
+            .parse()
+            .map_err(|_| ParseAigerError::BadBinary(format!("bad output '{line}'")))?;
+        outputs.push(lit);
+        pos += end + 1;
+    }
+
+    // AND gates: delta-encoded pairs.
+    let mut g = Aig::new();
+    let mut vars = VarMap::new(h.max_var);
+    for i in 0..h.inputs {
+        let pi = g.add_pi();
+        vars.define((i + 1) * 2, pi)?;
+    }
+    let read_delta = |pos: &mut usize| -> Result<u64, ParseAigerError> {
+        let mut x = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *bytes
+                .get(*pos)
+                .ok_or_else(|| ParseAigerError::BadBinary("truncated delta".into()))?;
+            *pos += 1;
+            x |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+            if shift > 63 {
+                return Err(ParseAigerError::BadBinary("delta overflow".into()));
+            }
+        }
+    };
+    for i in 0..h.ands {
+        let lhs = (h.inputs + i + 1) * 2;
+        let d0 = read_delta(&mut pos)?;
+        let d1 = read_delta(&mut pos)?;
+        let r0 = lhs
+            .checked_sub(d0)
+            .ok_or_else(|| ParseAigerError::BadBinary("delta0 exceeds lhs".into()))?;
+        let r1 = r0
+            .checked_sub(d1)
+            .ok_or_else(|| ParseAigerError::BadBinary("delta1 exceeds rhs0".into()))?;
+        let a = vars.resolve(r0)?;
+        let b = vars.resolve(r1)?;
+        let out = g.and(a, b);
+        vars.define(lhs, out)?;
+    }
+    for ext in outputs {
+        g.add_po(vars.resolve(ext)?);
+    }
+    Ok(g)
+}
+
+/// Serializes an AIG as a binary AIGER (`aig`) byte vector.
+pub fn write_binary(aig: &Aig) -> Vec<u8> {
+    let (order, ext_of) = externalize(aig);
+    let num_ands = order.len();
+    let mut out = format!(
+        "aig {} {} 0 {} {}\n",
+        aig.pi_count() + num_ands,
+        aig.pi_count(),
+        aig.po_count(),
+        num_ands
+    )
+    .into_bytes();
+    for po in aig.pos() {
+        out.extend_from_slice(format!("{}\n", ext_lit(*po, &ext_of)).as_bytes());
+    }
+    let push_delta = |out: &mut Vec<u8>, mut x: u64| {
+        loop {
+            let mut byte = (x & 0x7F) as u8;
+            x >>= 7;
+            if x != 0 {
+                byte |= 0x80;
+            }
+            out.push(byte);
+            if x == 0 {
+                break;
+            }
+        }
+    };
+    for &node in &order {
+        let (a, b) = aig.fanins(node).expect("AND node");
+        let lhs = ext_of[&node] * 2;
+        let mut l0 = ext_lit(a, &ext_of);
+        let mut l1 = ext_lit(b, &ext_of);
+        if l0 < l1 {
+            std::mem::swap(&mut l0, &mut l1);
+        }
+        debug_assert!(lhs > l0 && l0 >= l1);
+        push_delta(&mut out, lhs - l0);
+        push_delta(&mut out, l0 - l1);
+    }
+    out
+}
+
+/// Assigns external variable numbers: inputs 1..=I, ANDs I+1.. in
+/// topological order. Returns (AND order, node → external var).
+fn externalize(aig: &Aig) -> (Vec<NodeId>, HashMap<NodeId, u64>) {
+    let mut ext_of: HashMap<NodeId, u64> = HashMap::new();
+    ext_of.insert(NodeId::CONST0, 0);
+    for (i, &pi) in aig.pis().iter().enumerate() {
+        ext_of.insert(pi, i as u64 + 1);
+    }
+    let mut order = Vec::new();
+    let mut next = aig.pi_count() as u64 + 1;
+    for id in aig.node_ids() {
+        if matches!(aig.kind(id), NodeKind::And(..)) {
+            ext_of.insert(id, next);
+            next += 1;
+            order.push(id);
+        }
+    }
+    (order, ext_of)
+}
+
+fn ext_lit(l: Lit, ext_of: &HashMap<NodeId, u64>) -> u64 {
+    ext_of[&l.node()] * 2 + l.is_complement() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn equivalent(a: &Aig, b: &Aig, samples: usize) -> bool {
+        if a.pi_count() != b.pi_count() || a.po_count() != b.po_count() {
+            return false;
+        }
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        for _ in 0..samples {
+            let inputs: Vec<u64> = (0..a.pi_count())
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                })
+                .collect();
+            if a.eval64(&inputs) != b.eval64(&inputs) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn sample_aig() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let x = g.xor(a, b);
+        let m = g.maj3(a, b, c);
+        g.add_po(x);
+        g.add_po(!m);
+        g.add_po(Lit::TRUE);
+        g
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let g = sample_aig();
+        let text = write_ascii(&g);
+        let back = read_ascii(&text).unwrap();
+        assert!(equivalent(&g, &back, 8));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample_aig();
+        let bytes = write_binary(&g);
+        let back = read_binary(&bytes).unwrap();
+        assert!(equivalent(&g, &back, 8));
+    }
+
+    #[test]
+    fn ascii_binary_agree() {
+        let g = sample_aig();
+        let from_ascii = read_ascii(&write_ascii(&g)).unwrap();
+        let from_binary = read_binary(&write_binary(&g)).unwrap();
+        assert!(equivalent(&from_ascii, &from_binary, 8));
+    }
+
+    #[test]
+    fn parses_reference_example() {
+        // The and-gate example from the AIGER report.
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let g = read_ascii(text).unwrap();
+        assert_eq!(g.pi_count(), 2);
+        assert_eq!(g.po_count(), 1);
+        assert_eq!(g.eval(&[true, true]), vec![true]);
+        assert_eq!(g.eval(&[true, false]), vec![false]);
+    }
+
+    #[test]
+    fn parses_constant_outputs() {
+        // Output literal 0 (false) and 1 (true).
+        let text = "aag 1 1 0 2 0\n2\n0\n1\n";
+        let g = read_ascii(text).unwrap();
+        assert_eq!(g.eval(&[false]), vec![false, true]);
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 3 1 1 1 1\n2\n4 2\n6\n6 2 4\n";
+        assert_eq!(read_ascii(text).unwrap_err(), ParseAigerError::LatchesUnsupported);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(read_ascii("not aiger"), Err(ParseAigerError::BadHeader(_))));
+        assert!(matches!(read_ascii("aag 1 2 3"), Err(ParseAigerError::BadHeader(_))));
+        assert!(matches!(read_ascii(""), Err(ParseAigerError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_out_of_range_literal() {
+        let text = "aag 1 1 0 1 0\n2\n99\n";
+        assert_eq!(read_ascii(text).unwrap_err(), ParseAigerError::LiteralOutOfRange(99));
+    }
+
+    #[test]
+    fn roundtrip_larger_network() {
+        let mut g = Aig::new();
+        let pis: Vec<Lit> = (0..8).map(|_| g.add_pi()).collect();
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            let x = g.xor(acc, p);
+            acc = g.and(x, p);
+        }
+        g.add_po(acc);
+        let back = read_binary(&write_binary(&g)).unwrap();
+        assert!(equivalent(&g, &back, 8));
+    }
+
+    #[test]
+    fn folded_and_gates_roundtrip() {
+        // x & !x folds to constant false at parse time; the file is still
+        // valid and the function preserved.
+        let text = "aag 2 1 0 1 1\n2\n4\n4 2 3\n";
+        let g = read_ascii(text).unwrap();
+        assert_eq!(g.eval(&[true]), vec![false]);
+        assert_eq!(g.eval(&[false]), vec![false]);
+    }
+}

@@ -1,0 +1,381 @@
+//! K-feasible cut enumeration with truth-table computation.
+//!
+//! Implements the classic bottom-up cut enumeration of Cong et al. (FPGA'99,
+//! ref \[8\] of the paper) with per-node cut-count limits ("priority cuts") and
+//! dominance filtering. Every cut carries the Boolean function it computes in
+//! terms of its (sorted) leaves, which is what T1 Boolean matching consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_netlist::aig::Aig;
+//! use sfq_netlist::cut::{enumerate_cuts, CutConfig};
+//! use sfq_netlist::truth_table::TruthTable;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_pi();
+//! let b = aig.add_pi();
+//! let c = aig.add_pi();
+//! let m = aig.maj3(a, b, c);
+//! aig.add_po(m);
+//!
+//! let cuts = enumerate_cuts(&aig, &CutConfig::default());
+//! // Cut functions describe the positive node; the builder may hand back a
+//! // complemented literal, so compare modulo the root polarity.
+//! let found = cuts.cuts(m.node()).iter().any(|cut| {
+//!     cut.leaves().len() == 3 && {
+//!         let tt = if m.is_complement() { !cut.truth_table() } else { cut.truth_table() };
+//!         tt == TruthTable::maj3()
+//!     }
+//! });
+//! assert!(found);
+//! ```
+
+use crate::aig::{Aig, NodeId, NodeKind};
+use crate::truth_table::TruthTable;
+
+/// A cut: a set of leaves plus the function of the root in terms of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cut {
+    leaves: Vec<NodeId>,
+    tt: TruthTable,
+}
+
+impl Cut {
+    /// The sorted leaf nodes of the cut.
+    pub fn leaves(&self) -> &[NodeId] {
+        &self.leaves
+    }
+
+    /// The function of the cut root over the leaves (variable `i` is
+    /// `leaves()[i]`).
+    pub fn truth_table(&self) -> TruthTable {
+        self.tt
+    }
+
+    /// Returns `true` if every leaf of `self` is a leaf of `other`.
+    fn dominates(&self, other: &Cut) -> bool {
+        self.leaves.len() <= other.leaves.len()
+            && self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+    }
+}
+
+/// Parameters of the enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CutConfig {
+    /// Maximum cut width (leaf count). At most 6.
+    pub max_leaves: usize,
+    /// Maximum number of cuts stored per node (priority-cut limit).
+    pub max_cuts: usize,
+}
+
+impl Default for CutConfig {
+    /// `max_leaves = 4`, `max_cuts = 25` — enough to discover all T1
+    /// candidates in arithmetic networks while staying linear in practice.
+    fn default() -> Self {
+        CutConfig { max_leaves: 4, max_cuts: 25 }
+    }
+}
+
+/// Per-node cut sets for a whole network.
+#[derive(Debug, Clone)]
+pub struct CutSet {
+    cuts: Vec<Vec<Cut>>,
+}
+
+impl CutSet {
+    /// The cuts enumerated for `node` (first cut is the trivial one for
+    /// PIs, and cuts are ordered smaller-first for ANDs).
+    pub fn cuts(&self, node: NodeId) -> &[Cut] {
+        &self.cuts[node.index()]
+    }
+
+    /// Total number of stored cuts (diagnostic).
+    pub fn total(&self) -> usize {
+        self.cuts.iter().map(Vec::len).sum()
+    }
+}
+
+/// Re-expresses `tt` (over `leaves`) on the superset `union` of leaves.
+fn expand_tt(tt: TruthTable, leaves: &[NodeId], union: &[NodeId]) -> TruthTable {
+    debug_assert!(union.len() <= TruthTable::MAX_VARS);
+    let positions: Vec<usize> = leaves
+        .iter()
+        .map(|l| union.binary_search(l).expect("leaf must be in union"))
+        .collect();
+    let m = union.len();
+    let mut bits = 0u64;
+    for idx in 0..(1usize << m) {
+        let mut sub = 0usize;
+        for (i, &p) in positions.iter().enumerate() {
+            sub |= ((idx >> p) & 1) << i;
+        }
+        if tt.get(sub) {
+            bits |= 1 << idx;
+        }
+    }
+    TruthTable::from_bits(m, bits)
+}
+
+fn merge_leaves(a: &[NodeId], b: &[NodeId], max: usize) -> Option<Vec<NodeId>> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let next = if j >= b.len() || (i < a.len() && a[i] <= b[j]) {
+            if j < b.len() && a[i] == b[j] {
+                j += 1;
+            }
+            let v = a[i];
+            i += 1;
+            v
+        } else {
+            let v = b[j];
+            j += 1;
+            v
+        };
+        out.push(next);
+        if out.len() > max {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Enumerates cuts for every node of `aig`.
+///
+/// # Panics
+///
+/// Panics if `config.max_leaves > 6` or `config.max_cuts == 0`.
+pub fn enumerate_cuts(aig: &Aig, config: &CutConfig) -> CutSet {
+    assert!(config.max_leaves <= TruthTable::MAX_VARS, "cut width limited to 6");
+    assert!(config.max_cuts > 0, "at least one cut per node required");
+    let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.len());
+    for id in aig.node_ids() {
+        let cuts = match aig.kind(id) {
+            NodeKind::Const0 => {
+                vec![Cut { leaves: vec![], tt: TruthTable::zero(0) }]
+            }
+            NodeKind::Input(_) => {
+                vec![Cut { leaves: vec![id], tt: TruthTable::var(1, 0) }]
+            }
+            NodeKind::And(fa, fb) => {
+                let mut merged: Vec<Cut> = Vec::new();
+                {
+                    let ca = &all[fa.node().index()];
+                    let cb = &all[fb.node().index()];
+                    for cut_a in ca {
+                        for cut_b in cb {
+                            let Some(leaves) =
+                                merge_leaves(&cut_a.leaves, &cut_b.leaves, config.max_leaves)
+                            else {
+                                continue;
+                            };
+                            let mut ta = expand_tt(cut_a.tt, &cut_a.leaves, &leaves);
+                            let mut tb = expand_tt(cut_b.tt, &cut_b.leaves, &leaves);
+                            if fa.is_complement() {
+                                ta = !ta;
+                            }
+                            if fb.is_complement() {
+                                tb = !tb;
+                            }
+                            merged.push(Cut { leaves, tt: ta & tb });
+                        }
+                    }
+                }
+                // Dominance filter: drop any cut strictly dominated by another.
+                let mut kept: Vec<Cut> = Vec::new();
+                merged.sort_by_key(|c| c.leaves.len());
+                for cut in merged {
+                    if kept.iter().any(|k| k.dominates(&cut) && k.leaves != cut.leaves) {
+                        continue;
+                    }
+                    if kept.iter().any(|k| k.leaves == cut.leaves) {
+                        continue;
+                    }
+                    kept.push(cut);
+                    if kept.len() >= config.max_cuts {
+                        break;
+                    }
+                }
+                // The trivial cut is always present (consumers build their
+                // direct fanin cuts from it); it rides on top of the limit
+                // so it can never be crowded out.
+                kept.push(Cut { leaves: vec![id], tt: TruthTable::var(1, 0) });
+                kept
+            }
+        };
+        all.push(cuts);
+    }
+    CutSet { cuts: all }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aig::Lit;
+
+    fn tiny_and() -> (Aig, Lit) {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        g.add_po(x);
+        (g, x)
+    }
+
+    #[test]
+    fn and_node_has_pi_cut() {
+        let (g, x) = tiny_and();
+        let cuts = enumerate_cuts(&g, &CutConfig::default());
+        let set = cuts.cuts(x.node());
+        let two_leaf = set.iter().find(|c| c.leaves().len() == 2).expect("2-leaf cut");
+        let expect = TruthTable::var(2, 0) & TruthTable::var(2, 1);
+        assert_eq!(two_leaf.truth_table(), expect);
+    }
+
+    #[test]
+    fn trivial_cut_present() {
+        let (g, x) = tiny_and();
+        let cuts = enumerate_cuts(&g, &CutConfig::default());
+        assert!(cuts
+            .cuts(x.node())
+            .iter()
+            .any(|c| c.leaves() == [x.node()]));
+    }
+
+    #[test]
+    fn xor3_found_as_3cut() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let x = g.xor3(a, b, c);
+        g.add_po(x);
+        let cuts = enumerate_cuts(&g, &CutConfig::default());
+        // The root literal may be complemented (xor is built via or); the cut
+        // function describes the positive node, so compare modulo polarity.
+        let found = cuts.cuts(x.node()).iter().any(|cut| {
+            cut.leaves().len() == 3 && {
+                let tt = if x.is_complement() { !cut.truth_table() } else { cut.truth_table() };
+                tt == TruthTable::xor3()
+            }
+        });
+        assert!(found, "xor3 cut must be enumerated");
+    }
+
+    #[test]
+    fn maj3_found_as_3cut() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let m = g.maj3(a, b, c);
+        g.add_po(m);
+        let cuts = enumerate_cuts(&g, &CutConfig::default());
+        let found = cuts.cuts(m.node()).iter().any(|cut| {
+            cut.leaves().len() == 3 && {
+                let tt = if m.is_complement() { !cut.truth_table() } else { cut.truth_table() };
+                tt == TruthTable::maj3()
+            }
+        });
+        assert!(found, "maj3 cut must be enumerated");
+    }
+
+    #[test]
+    fn or3_found_with_complements() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let o1 = g.or(a, b);
+        let o = g.or(o1, c);
+        g.add_po(o);
+        let cuts = enumerate_cuts(&g, &CutConfig::default());
+        // The root node computes !(or3) structurally (AND of complements);
+        // its positive-literal function is the AND; with the PO complement it
+        // is or3. Check that the 3-cut function matches !or3 on the node.
+        let found = cuts
+            .cuts(o.node())
+            .iter()
+            .any(|cut| cut.leaves().len() == 3 && {
+                let tt = if o.is_complement() { !cut.truth_table() } else { cut.truth_table() };
+                tt == TruthTable::or3()
+            });
+        assert!(found, "or3 cut must be enumerated (modulo root polarity)");
+    }
+
+    #[test]
+    fn cut_functions_match_network_eval() {
+        // Property: for every cut of every node, evaluating the cut TT on the
+        // leaf values equals the node value.
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let d = g.add_pi();
+        let s1 = g.xor(a, b);
+        let s2 = g.maj3(s1, c, d);
+        let s3 = g.and(s2, a);
+        g.add_po(s3);
+        let cuts = enumerate_cuts(&g, &CutConfig { max_leaves: 4, max_cuts: 50 });
+
+        for idx in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|i| idx >> i & 1 == 1).collect();
+            let words: Vec<u64> = bits.iter().map(|&x| if x { u64::MAX } else { 0 }).collect();
+            // Node values:
+            let mut vals = vec![false; g.len()];
+            for id in g.node_ids() {
+                vals[id.index()] = match g.kind(id) {
+                    NodeKind::Const0 => false,
+                    NodeKind::Input(i) => bits[i as usize],
+                    NodeKind::And(fa, fb) => {
+                        (vals[fa.node().index()] ^ fa.is_complement())
+                            & (vals[fb.node().index()] ^ fb.is_complement())
+                    }
+                };
+            }
+            let _ = words;
+            for id in g.node_ids() {
+                for cut in cuts.cuts(id) {
+                    let mut leaf_idx = 0usize;
+                    for (i, l) in cut.leaves().iter().enumerate() {
+                        if vals[l.index()] {
+                            leaf_idx |= 1 << i;
+                        }
+                    }
+                    assert_eq!(
+                        cut.truth_table().get(leaf_idx),
+                        vals[id.index()],
+                        "cut of node {id:?} disagrees at input {idx}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_cuts_respected() {
+        let mut g = Aig::new();
+        let pis: Vec<_> = (0..8).map(|_| g.add_pi()).collect();
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = g.xor(acc, p);
+        }
+        g.add_po(acc);
+        let cfg = CutConfig { max_leaves: 4, max_cuts: 5 };
+        let cuts = enumerate_cuts(&g, &cfg);
+        for id in g.node_ids() {
+            assert!(cuts.cuts(id).len() <= cfg.max_cuts + 1);
+        }
+    }
+
+    #[test]
+    fn dominated_cuts_removed() {
+        let (g, x) = tiny_and();
+        let cuts = enumerate_cuts(&g, &CutConfig::default());
+        // The {a, b} cut must not coexist with a dominated {a, b, anything}.
+        for c in cuts.cuts(x.node()) {
+            assert!(c.leaves().len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Network transformations and statistics.
+//!
+//! - [`cleanup`] — rebuilds an AIG keeping only the logic reachable from the
+//!   primary outputs (dead-node sweep + re-strashing), the standard step
+//!   before mapping;
+//! - [`NetworkStats`] — summary numbers for reports and regression tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_netlist::aig::Aig;
+//! use sfq_netlist::transform::{cleanup, NetworkStats};
+//!
+//! let mut g = Aig::new();
+//! let a = g.add_pi();
+//! let b = g.add_pi();
+//! let used = g.and(a, b);
+//! let _dead = g.xor(a, b); // never drives an output
+//! g.add_po(used);
+//! let clean = cleanup(&g);
+//! assert_eq!(clean.and_count(), 1);
+//! let stats = NetworkStats::of(&clean);
+//! assert_eq!(stats.ands, 1);
+//! ```
+
+use crate::aig::{Aig, Lit, NodeId, NodeKind};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Rebuilds `aig` keeping only logic in the transitive fanin of the primary
+/// outputs. Input and output order is preserved; structural hashing may
+/// merge nodes that became equivalent through the copy.
+pub fn cleanup(aig: &Aig) -> Aig {
+    let mut out = Aig::new();
+    let mut map: HashMap<NodeId, Lit> = HashMap::new();
+    map.insert(NodeId::CONST0, Lit::FALSE);
+    for &pi in aig.pis() {
+        let new_pi = out.add_pi();
+        map.insert(pi, new_pi);
+    }
+    // Nodes are stored topologically; one forward pass with a reachability
+    // mark from the POs would also work, but copying on demand is simpler:
+    // walk the PO cones iteratively.
+    let mut stack: Vec<NodeId> = aig.pos().iter().map(|l| l.node()).collect();
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut seen = vec![false; aig.len()];
+    while let Some(n) = stack.pop() {
+        if seen[n.index()] {
+            continue;
+        }
+        seen[n.index()] = true;
+        order.push(n);
+        if let Some((a, b)) = aig.fanins(n) {
+            stack.push(a.node());
+            stack.push(b.node());
+        }
+    }
+    // Build in id order (topological) restricted to reachable nodes.
+    order.sort();
+    for n in order {
+        if let NodeKind::And(a, b) = aig.kind(n) {
+            let fa = map[&a.node()].with_complement(
+                map[&a.node()].is_complement() ^ a.is_complement(),
+            );
+            let fb = map[&b.node()].with_complement(
+                map[&b.node()].is_complement() ^ b.is_complement(),
+            );
+            let lit = out.and(fa, fb);
+            map.insert(n, lit);
+        }
+    }
+    for po in aig.pos() {
+        let base = map[&po.node()];
+        out.add_po(base.with_complement(base.is_complement() ^ po.is_complement()));
+    }
+    out
+}
+
+/// Summary statistics of an AIG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Primary inputs.
+    pub pis: usize,
+    /// Primary outputs.
+    pub pos: usize,
+    /// AND gates.
+    pub ands: usize,
+    /// Logic depth (levels).
+    pub depth: u32,
+    /// Nodes with more than one fanout.
+    pub multi_fanout_nodes: usize,
+    /// Maximum fanout of any node.
+    pub max_fanout: u32,
+}
+
+impl NetworkStats {
+    /// Computes the statistics of `aig`.
+    pub fn of(aig: &Aig) -> Self {
+        let mut multi = 0;
+        let mut max_fanout = 0;
+        for id in aig.node_ids() {
+            let f = aig.fanout_count(id);
+            if f > 1 {
+                multi += 1;
+            }
+            max_fanout = max_fanout.max(f);
+        }
+        NetworkStats {
+            pis: aig.pi_count(),
+            pos: aig.po_count(),
+            ands: aig.and_count(),
+            depth: aig.depth(),
+            multi_fanout_nodes: multi,
+            max_fanout,
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} PIs, {} POs, {} ANDs, depth {}, {} multi-fanout nodes (max fanout {})",
+            self.pis, self.pos, self.ands, self.depth, self.multi_fanout_nodes, self.max_fanout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleanup_removes_dead_logic() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let keep = g.and(a, b);
+        let _dead1 = g.xor(a, b);
+        let _dead2 = g.or(a, b);
+        g.add_po(keep);
+        let clean = cleanup(&g);
+        assert_eq!(clean.and_count(), 1);
+        assert_eq!(clean.pi_count(), 2);
+        for x in 0..4u32 {
+            let bits = [x & 1 == 1, x >> 1 & 1 == 1];
+            assert_eq!(g.eval(&bits)[0], clean.eval(&bits)[0]);
+        }
+    }
+
+    #[test]
+    fn cleanup_preserves_functions_and_order() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let x = g.xor3(a, b, c);
+        let m = g.maj3(a, b, c);
+        g.add_po(!x);
+        g.add_po(m);
+        let clean = cleanup(&g);
+        for i in 0..8u32 {
+            let bits = [i & 1 == 1, i >> 1 & 1 == 1, i >> 2 & 1 == 1];
+            assert_eq!(g.eval(&bits), clean.eval(&bits), "input {i}");
+        }
+    }
+
+    #[test]
+    fn cleanup_keeps_constant_outputs() {
+        let mut g = Aig::new();
+        let _a = g.add_pi();
+        g.add_po(Lit::TRUE);
+        g.add_po(Lit::FALSE);
+        let clean = cleanup(&g);
+        assert_eq!(clean.eval(&[false]), vec![true, false]);
+    }
+
+    #[test]
+    fn stats_reports_fanout_structure() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        let y = g.and(x, a);
+        let z = g.and(x, b);
+        g.add_po(y);
+        g.add_po(z);
+        let s = NetworkStats::of(&g);
+        assert_eq!(s.ands, 3);
+        assert_eq!(s.depth, 2);
+        assert!(s.multi_fanout_nodes >= 2, "a and x have fanout 2");
+        assert!(s.max_fanout >= 2);
+        assert!(s.to_string().contains("3 ANDs"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Behavioural model of the T1 flip-flop (Polonsky et al., ref \[5\]).
+//!
+//! The T1 cell is a pulse counter with a single internal storage loop:
+//!
+//! - a pulse on **T** toggles the loop; on the 0→1 transition the cell emits
+//!   a pulse on **Q\***, on the 1→0 transition it emits on **C\***;
+//! - a pulse on **R** (the clock, in the full-adder configuration) emits on
+//!   **S** if the loop holds 1, then resets the loop; on state 0 the pulse
+//!   is absorbed.
+//!
+//! In the extended (synchronous) configuration used by the mapping flow the
+//! cell additionally latches the *first* `Q*`/`C*` events of an epoch and
+//! releases them as synchronous `Q` (OR3) and `C` (MAJ3) outputs on the `R`
+//! pulse, alongside `S` (XOR3).
+//!
+//! Two `T` pulses closer than the cell's separation threshold constitute a
+//! *data hazard* (they may be absorbed as one); the model counts them — the
+//! exact failure mode multiphase staggering is designed to avoid.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_sim::t1cell::{T1Cell, T1Event};
+//!
+//! let mut t1 = T1Cell::new(500);
+//! // Three operand pulses, well separated (stages of a 4-phase epoch).
+//! assert_eq!(t1.pulse_t(1000), vec![T1Event::QStar]);
+//! assert_eq!(t1.pulse_t(2000), vec![T1Event::CStar]);
+//! assert_eq!(t1.pulse_t(3000), vec![T1Event::QStar]);
+//! // Clock: loop holds 1 (odd count) → S fires; C and Q were latched.
+//! let out = t1.pulse_r(4000);
+//! assert!(out.contains(&T1Event::S));
+//! assert!(out.contains(&T1Event::C));
+//! assert!(out.contains(&T1Event::Q));
+//! assert_eq!(t1.hazards(), 0);
+//! ```
+
+/// Output events of the T1 cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum T1Event {
+    /// Asynchronous pulse on the `Q*` output (loop 0→1).
+    QStar,
+    /// Asynchronous pulse on the `C*` output (loop 1→0).
+    CStar,
+    /// Synchronous sum output (XOR3) on the `R` pulse.
+    S,
+    /// Synchronous carry output (MAJ3) on the `R` pulse.
+    C,
+    /// Synchronous or output (OR3) on the `R` pulse.
+    Q,
+}
+
+/// Behavioural T1 flip-flop state machine.
+#[derive(Debug, Clone)]
+pub struct T1Cell {
+    /// Internal storage loop (false = bias along J_Q, true = along J_C).
+    state: bool,
+    /// Latched "at least two pulses this epoch" flag → synchronous C.
+    c_latch: bool,
+    /// Latched "at least one pulse this epoch" flag → synchronous Q.
+    q_latch: bool,
+    /// Minimum admissible separation between consecutive T pulses.
+    min_separation: u64,
+    last_t: Option<u64>,
+    hazards: u64,
+}
+
+impl T1Cell {
+    /// Creates a cell in state 0 with the given pulse-separation threshold
+    /// (same time unit as the pulse timestamps).
+    pub fn new(min_separation: u64) -> Self {
+        T1Cell {
+            state: false,
+            c_latch: false,
+            q_latch: false,
+            min_separation,
+            last_t: None,
+            hazards: 0,
+        }
+    }
+
+    /// Current loop state.
+    pub fn state(&self) -> bool {
+        self.state
+    }
+
+    /// Number of pulse-overlap hazards observed so far.
+    pub fn hazards(&self) -> u64 {
+        self.hazards
+    }
+
+    /// Applies a pulse on the `T` (toggle/data) input at `time`.
+    ///
+    /// Returns the asynchronous events emitted.
+    pub fn pulse_t(&mut self, time: u64) -> Vec<T1Event> {
+        if let Some(last) = self.last_t {
+            if time.saturating_sub(last) < self.min_separation {
+                self.hazards += 1;
+            }
+        }
+        self.last_t = Some(time);
+        self.state = !self.state;
+        if self.state {
+            self.q_latch = true;
+            vec![T1Event::QStar]
+        } else {
+            self.c_latch = true;
+            vec![T1Event::CStar]
+        }
+    }
+
+    /// Applies a pulse on the `R` (reset/clock) input at `time`.
+    ///
+    /// Emits `S` if the loop held 1, plus the latched synchronous `C`/`Q`
+    /// events, then resets the epoch state.
+    pub fn pulse_r(&mut self, _time: u64) -> Vec<T1Event> {
+        let mut out = Vec::new();
+        if self.state {
+            out.push(T1Event::S);
+        }
+        if self.c_latch {
+            out.push(T1Event::C);
+        }
+        if self.q_latch {
+            out.push(T1Event::Q);
+        }
+        self.state = false;
+        self.c_latch = false;
+        self.q_latch = false;
+        self.last_t = None;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drives `k` well-separated T pulses then the R clock; returns the
+    /// synchronous events.
+    fn epoch(k: usize) -> Vec<T1Event> {
+        let mut t1 = T1Cell::new(500);
+        for i in 0..k {
+            t1.pulse_t(1000 * (i as u64 + 1));
+        }
+        let out = t1.pulse_r(1000 * (k as u64 + 2));
+        assert_eq!(t1.hazards(), 0);
+        out
+    }
+
+    #[test]
+    fn zero_pulses_all_outputs_silent() {
+        assert_eq!(epoch(0), vec![]);
+    }
+
+    #[test]
+    fn one_pulse_gives_sum_and_or() {
+        let out = epoch(1);
+        assert!(out.contains(&T1Event::S), "xor3 of one pulse is 1");
+        assert!(out.contains(&T1Event::Q), "or3 of one pulse is 1");
+        assert!(!out.contains(&T1Event::C), "maj3 of one pulse is 0");
+    }
+
+    #[test]
+    fn two_pulses_give_carry_and_or() {
+        let out = epoch(2);
+        assert!(!out.contains(&T1Event::S));
+        assert!(out.contains(&T1Event::C));
+        assert!(out.contains(&T1Event::Q));
+    }
+
+    #[test]
+    fn three_pulses_give_all() {
+        let out = epoch(3);
+        assert!(out.contains(&T1Event::S));
+        assert!(out.contains(&T1Event::C));
+        assert!(out.contains(&T1Event::Q));
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        // For every (a, b, cin): pulse count = a + b + cin; verify
+        // S = XOR3, C = MAJ3, Q = OR3.
+        for bits in 0..8u32 {
+            let k = bits.count_ones() as usize;
+            let out = epoch(k);
+            assert_eq!(out.contains(&T1Event::S), k % 2 == 1, "S at k={k}");
+            assert_eq!(out.contains(&T1Event::C), k >= 2, "C at k={k}");
+            assert_eq!(out.contains(&T1Event::Q), k >= 1, "Q at k={k}");
+        }
+    }
+
+    #[test]
+    fn fig1b_waveform_sequence() {
+        // Reproduces the Fig. 1b simulation: epochs with inputs a, ab, abc.
+        let mut t1 = T1Cell::new(500);
+        // Epoch 1: single pulse (a).
+        assert_eq!(t1.pulse_t(1000), vec![T1Event::QStar]);
+        let e1 = t1.pulse_r(4000);
+        assert!(e1.contains(&T1Event::S) && e1.contains(&T1Event::Q));
+        // Epoch 2: two pulses (a, b).
+        assert_eq!(t1.pulse_t(5000), vec![T1Event::QStar]);
+        assert_eq!(t1.pulse_t(6000), vec![T1Event::CStar]);
+        let e2 = t1.pulse_r(8000);
+        assert!(!e2.contains(&T1Event::S) && e2.contains(&T1Event::C));
+        // Epoch 3: three pulses (a, b, c).
+        assert_eq!(t1.pulse_t(9000), vec![T1Event::QStar]);
+        assert_eq!(t1.pulse_t(10000), vec![T1Event::CStar]);
+        assert_eq!(t1.pulse_t(11000), vec![T1Event::QStar]);
+        let e3 = t1.pulse_r(12000);
+        assert!(e3.contains(&T1Event::S) && e3.contains(&T1Event::C) && e3.contains(&T1Event::Q));
+        assert_eq!(t1.hazards(), 0);
+    }
+
+    #[test]
+    fn overlapping_pulses_flag_hazard() {
+        let mut t1 = T1Cell::new(500);
+        t1.pulse_t(1000);
+        t1.pulse_t(1100); // 100 < 500 → hazard
+        assert_eq!(t1.hazards(), 1);
+    }
+
+    #[test]
+    fn reset_on_state_zero_absorbed() {
+        let mut t1 = T1Cell::new(500);
+        assert_eq!(t1.pulse_r(1000), vec![]);
+        assert!(!t1.state());
+    }
+
+    #[test]
+    fn state_resets_between_epochs() {
+        let mut t1 = T1Cell::new(500);
+        t1.pulse_t(1000);
+        t1.pulse_r(2000);
+        // New epoch starts clean: one pulse again yields Q*.
+        assert_eq!(t1.pulse_t(3000), vec![T1Event::QStar]);
+    }
+}

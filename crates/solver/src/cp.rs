@@ -1,0 +1,507 @@
+//! A small finite-domain constraint-programming solver.
+//!
+//! Covers exactly the constraint vocabulary the paper's DFF-insertion step
+//! needs (ref \[10\] uses OR-Tools CP-SAT): bounded integer variables, linear
+//! inequalities, disequalities and `alldifferent` (eq. 5 — the DFFs feeding
+//! a T1 cell must sit at pairwise distinct stages).
+//!
+//! Search is depth-first with bounds-consistency propagation for linear
+//! constraints and value pruning for (all)different, using a
+//! minimum-remaining-values variable order. Optional objective minimization
+//! is done by branch-and-bound on incumbent cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_solver::cp::CpModel;
+//!
+//! let mut m = CpModel::new();
+//! let x = m.add_var(0, 3);
+//! let y = m.add_var(0, 3);
+//! let z = m.add_var(0, 3);
+//! m.all_different(&[x, y, z]);
+//! m.linear_le(&[(1, x), (1, y), (1, z)], 3); // x + y + z <= 3
+//! let sol = m.solve().expect("0+1+2 fits");
+//! let mut vals = [sol[x], sol[y], sol[z]];
+//! vals.sort();
+//! assert_eq!(vals, [0, 1, 2]);
+//! ```
+
+/// Handle of a CP variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CpVar(pub usize);
+
+#[derive(Debug, Clone)]
+enum CpConstraint {
+    /// Σ coeff·var <= bound
+    LinearLe(Vec<(i64, CpVar)>, i64),
+    /// var_a != var_b
+    NotEqual(CpVar, CpVar),
+    /// all pairwise different
+    AllDifferent(Vec<CpVar>),
+}
+
+/// An inclusive-interval domain with removed-value holes.
+#[derive(Debug, Clone)]
+struct Domain {
+    lo: i64,
+    hi: i64,
+    /// Values removed from inside the interval (kept small in our workloads).
+    holes: Vec<i64>,
+}
+
+impl Domain {
+    fn contains(&self, v: i64) -> bool {
+        v >= self.lo && v <= self.hi && !self.holes.contains(&v)
+    }
+
+    fn size(&self) -> i64 {
+        (self.hi - self.lo + 1) - self.holes.len() as i64
+    }
+
+    fn is_fixed(&self) -> bool {
+        self.size() == 1
+    }
+
+    fn fixed_value(&self) -> Option<i64> {
+        if self.is_fixed() {
+            (self.lo..=self.hi).find(|&v| self.contains(v))
+        } else {
+            None
+        }
+    }
+
+    fn tighten_lo(&mut self, v: i64) -> bool {
+        if v > self.lo {
+            self.lo = v;
+        }
+        self.normalize()
+    }
+
+    fn tighten_hi(&mut self, v: i64) -> bool {
+        if v < self.hi {
+            self.hi = v;
+        }
+        self.normalize()
+    }
+
+    fn remove(&mut self, v: i64) -> bool {
+        if self.contains(v) {
+            self.holes.push(v);
+        }
+        self.normalize()
+    }
+
+    /// Slides bounds off holes; returns `false` if the domain became empty.
+    fn normalize(&mut self) -> bool {
+        while self.lo <= self.hi && self.holes.contains(&self.lo) {
+            self.lo += 1;
+        }
+        while self.lo <= self.hi && self.holes.contains(&self.hi) {
+            self.hi -= 1;
+        }
+        self.holes.retain(|&h| h > self.lo && h < self.hi);
+        self.lo <= self.hi
+    }
+}
+
+/// A CP model: variables, constraints, optional linear objective.
+#[derive(Debug, Clone, Default)]
+pub struct CpModel {
+    domains: Vec<Domain>,
+    constraints: Vec<CpConstraint>,
+    objective: Option<Vec<(i64, CpVar)>>,
+    /// Backtracking-node budget; `solve` gives up (returns best-so-far for
+    /// optimization, `None` for satisfaction) once exhausted.
+    pub node_limit: usize,
+}
+
+/// A complete assignment indexed by [`CpVar`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpSolution {
+    values: Vec<i64>,
+}
+
+impl std::ops::Index<CpVar> for CpSolution {
+    type Output = i64;
+    fn index(&self, v: CpVar) -> &i64 {
+        &self.values[v.0]
+    }
+}
+
+impl CpSolution {
+    /// All values, indexed by variable number.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+}
+
+impl CpModel {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        CpModel { node_limit: 1_000_000, ..Default::default() }
+    }
+
+    /// Adds a variable with inclusive domain `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn add_var(&mut self, lo: i64, hi: i64) -> CpVar {
+        assert!(lo <= hi, "empty initial domain");
+        self.domains.push(Domain { lo, hi, holes: Vec::new() });
+        CpVar(self.domains.len() - 1)
+    }
+
+    /// Posts `Σ coeff·var <= bound`.
+    pub fn linear_le(&mut self, terms: &[(i64, CpVar)], bound: i64) {
+        self.constraints.push(CpConstraint::LinearLe(terms.to_vec(), bound));
+    }
+
+    /// Posts `Σ coeff·var >= bound`.
+    pub fn linear_ge(&mut self, terms: &[(i64, CpVar)], bound: i64) {
+        let neg: Vec<(i64, CpVar)> = terms.iter().map(|&(c, v)| (-c, v)).collect();
+        self.constraints.push(CpConstraint::LinearLe(neg, -bound));
+    }
+
+    /// Posts `Σ coeff·var == bound`.
+    pub fn linear_eq(&mut self, terms: &[(i64, CpVar)], bound: i64) {
+        self.linear_le(terms, bound);
+        self.linear_ge(terms, bound);
+    }
+
+    /// Posts `a != b`.
+    pub fn not_equal(&mut self, a: CpVar, b: CpVar) {
+        self.constraints.push(CpConstraint::NotEqual(a, b));
+    }
+
+    /// Posts pairwise difference over `vars` (eq. 5 of the paper).
+    pub fn all_different(&mut self, vars: &[CpVar]) {
+        self.constraints.push(CpConstraint::AllDifferent(vars.to_vec()));
+    }
+
+    /// Sets a linear minimization objective.
+    pub fn minimize(&mut self, terms: &[(i64, CpVar)]) {
+        self.objective = Some(terms.to_vec());
+    }
+
+    /// Finds a solution (optimal if an objective was set).
+    pub fn solve(&self) -> Option<CpSolution> {
+        let mut domains = self.domains.clone();
+        if !propagate(&self.constraints, &mut domains) {
+            return None;
+        }
+        let mut best: Option<(i64, Vec<i64>)> = None;
+        let mut nodes = 0usize;
+        search(
+            &self.constraints,
+            &self.objective,
+            domains,
+            &mut best,
+            &mut nodes,
+            self.node_limit,
+        );
+        best.map(|(_, values)| CpSolution { values })
+    }
+}
+
+fn objective_value(obj: &Option<Vec<(i64, CpVar)>>, values: &[i64]) -> i64 {
+    match obj {
+        None => 0,
+        Some(terms) => terms.iter().map(|&(c, v)| c * values[v.0]).sum(),
+    }
+}
+
+/// Objective lower bound on partial domains (for pruning).
+fn objective_lower_bound(obj: &Option<Vec<(i64, CpVar)>>, domains: &[Domain]) -> i64 {
+    match obj {
+        None => 0,
+        Some(terms) => terms
+            .iter()
+            .map(|&(c, v)| {
+                if c >= 0 {
+                    c * domains[v.0].lo
+                } else {
+                    c * domains[v.0].hi
+                }
+            })
+            .sum(),
+    }
+}
+
+fn search(
+    constraints: &[CpConstraint],
+    obj: &Option<Vec<(i64, CpVar)>>,
+    domains: Vec<Domain>,
+    best: &mut Option<(i64, Vec<i64>)>,
+    nodes: &mut usize,
+    node_limit: usize,
+) {
+    *nodes += 1;
+    if *nodes > node_limit {
+        return;
+    }
+    if let Some((bound, _)) = best {
+        if objective_lower_bound(obj, &domains) >= *bound && obj.is_some() {
+            return;
+        }
+    }
+    // Pick unfixed variable with smallest domain.
+    let pick = domains
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| !d.is_fixed())
+        .min_by_key(|(_, d)| d.size());
+    let Some((vi, dom)) = pick else {
+        // All fixed: record solution.
+        let values: Vec<i64> = domains.iter().map(|d| d.fixed_value().unwrap()).collect();
+        let cost = objective_value(obj, &values);
+        match best {
+            None => *best = Some((cost, values)),
+            Some((b, _)) if cost < *b => *best = Some((cost, values)),
+            _ => {}
+        }
+        return;
+    };
+    let candidates: Vec<i64> = (dom.lo..=dom.hi).filter(|&v| dom.contains(v)).collect();
+    for v in candidates {
+        let mut child = domains.clone();
+        child[vi].lo = v;
+        child[vi].hi = v;
+        child[vi].holes.clear();
+        if propagate(constraints, &mut child) {
+            search(constraints, obj, child, best, nodes, node_limit);
+            // Satisfaction problems can stop at the first solution.
+            if obj.is_none() && best.is_some() {
+                return;
+            }
+        }
+        if *nodes > node_limit {
+            return;
+        }
+    }
+}
+
+/// Fixed-point propagation; returns `false` on a wipe-out.
+fn propagate(constraints: &[CpConstraint], domains: &mut [Domain]) -> bool {
+    loop {
+        let mut changed = false;
+        for c in constraints {
+            match c {
+                CpConstraint::LinearLe(terms, bound) => {
+                    // Bounds consistency: for each term, the tightest bound
+                    // given the minimal contribution of all other terms.
+                    let min_total: i64 = terms
+                        .iter()
+                        .map(|&(coef, v)| {
+                            if coef >= 0 {
+                                coef * domains[v.0].lo
+                            } else {
+                                coef * domains[v.0].hi
+                            }
+                        })
+                        .sum();
+                    if min_total > *bound {
+                        return false;
+                    }
+                    for &(coef, v) in terms {
+                        if coef == 0 {
+                            continue;
+                        }
+                        let own_min = if coef >= 0 {
+                            coef * domains[v.0].lo
+                        } else {
+                            coef * domains[v.0].hi
+                        };
+                        let others = min_total - own_min;
+                        let slack = *bound - others;
+                        // coef * x <= slack
+                        if coef > 0 {
+                            let max_x = slack.div_euclid(coef);
+                            if max_x < domains[v.0].hi {
+                                if !domains[v.0].tighten_hi(max_x) {
+                                    return false;
+                                }
+                                changed = true;
+                            }
+                        } else {
+                            let min_x = (-slack).div_euclid(-coef)
+                                + i64::from((-slack).rem_euclid(-coef) != 0);
+                            if min_x > domains[v.0].lo {
+                                if !domains[v.0].tighten_lo(min_x) {
+                                    return false;
+                                }
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+                CpConstraint::NotEqual(a, b) => {
+                    if !prune_not_equal(domains, *a, *b, &mut changed) {
+                        return false;
+                    }
+                }
+                CpConstraint::AllDifferent(vars) => {
+                    for i in 0..vars.len() {
+                        for j in i + 1..vars.len() {
+                            if !prune_not_equal(domains, vars[i], vars[j], &mut changed) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return true;
+        }
+    }
+}
+
+fn prune_not_equal(domains: &mut [Domain], a: CpVar, b: CpVar, changed: &mut bool) -> bool {
+    if let Some(v) = domains[a.0].fixed_value() {
+        if domains[b.0].contains(v) {
+            if !domains[b.0].remove(v) {
+                return false;
+            }
+            *changed = true;
+        }
+    }
+    if let Some(v) = domains[b.0].fixed_value() {
+        if domains[a.0].contains(v) {
+            if !domains[a.0].remove(v) {
+                return false;
+            }
+            *changed = true;
+        }
+    }
+    if domains[a.0].is_fixed()
+        && domains[b.0].is_fixed()
+        && domains[a.0].fixed_value() == domains[b.0].fixed_value()
+    {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_satisfaction() {
+        let mut m = CpModel::new();
+        let x = m.add_var(0, 5);
+        m.linear_ge(&[(1, x)], 3);
+        let s = m.solve().unwrap();
+        assert!(s[x] >= 3);
+    }
+
+    #[test]
+    fn infeasible_linear() {
+        let mut m = CpModel::new();
+        let x = m.add_var(0, 5);
+        m.linear_ge(&[(1, x)], 6);
+        assert!(m.solve().is_none());
+    }
+
+    #[test]
+    fn all_different_pigeonhole() {
+        // 4 vars over [0, 2] all different → impossible.
+        let mut m = CpModel::new();
+        let vars: Vec<_> = (0..4).map(|_| m.add_var(0, 2)).collect();
+        m.all_different(&vars);
+        assert!(m.solve().is_none());
+    }
+
+    #[test]
+    fn all_different_exact_fit() {
+        let mut m = CpModel::new();
+        let vars: Vec<_> = (0..4).map(|_| m.add_var(0, 3)).collect();
+        m.all_different(&vars);
+        let s = m.solve().unwrap();
+        let mut vals: Vec<i64> = vars.iter().map(|&v| s[v]).collect();
+        vals.sort();
+        assert_eq!(vals, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn minimize_linear() {
+        // min x + y s.t. x + y >= 4, x != y, domains [0,5].
+        let mut m = CpModel::new();
+        let x = m.add_var(0, 5);
+        let y = m.add_var(0, 5);
+        m.linear_ge(&[(1, x), (1, y)], 4);
+        m.not_equal(x, y);
+        m.minimize(&[(1, x), (1, y)]);
+        let s = m.solve().unwrap();
+        // Best distinct pair summing to >= 4 is {1, 3} (or {0, 4}).
+        assert_eq!(s[x] + s[y], 4);
+        assert_ne!(s[x], s[y]);
+    }
+
+    #[test]
+    fn minimize_finds_global_optimum() {
+        // min 3x + 2y s.t. x + y >= 3 over [0,4]: best x=0,y=3 → 6.
+        let mut m = CpModel::new();
+        let x = m.add_var(0, 4);
+        let y = m.add_var(0, 4);
+        m.linear_ge(&[(1, x), (1, y)], 3);
+        m.minimize(&[(3, x), (2, y)]);
+        let s = m.solve().unwrap();
+        assert_eq!(3 * s[x] + 2 * s[y], 6);
+    }
+
+    #[test]
+    fn equality_propagates() {
+        let mut m = CpModel::new();
+        let x = m.add_var(0, 10);
+        let y = m.add_var(0, 10);
+        m.linear_eq(&[(1, x), (1, y)], 10);
+        m.linear_eq(&[(1, x), (-1, y)], 4);
+        let s = m.solve().unwrap();
+        assert_eq!(s[x], 7);
+        assert_eq!(s[y], 3);
+    }
+
+    #[test]
+    fn t1_staggering_model() {
+        // Three DFF stage variables before a T1 at stage 10, n = 4:
+        // each within (10 - 4, 10), all different → 7, 8, 9 fits.
+        let mut m = CpModel::new();
+        let n = 4i64;
+        let sigma_t1 = 10i64;
+        let d: Vec<_> = (0..3).map(|_| m.add_var(sigma_t1 - n, sigma_t1 - 1)).collect();
+        m.all_different(&d);
+        let s = m.solve().unwrap();
+        let mut vals: Vec<i64> = d.iter().map(|&v| s[v]).collect();
+        vals.sort();
+        vals.dedup();
+        assert_eq!(vals.len(), 3, "stages pairwise distinct");
+        assert!(vals.iter().all(|&v| (6..=9).contains(&v)));
+    }
+
+    #[test]
+    fn t1_staggering_infeasible_with_two_phases() {
+        // n = 2 phases: only 2 distinct stages within reach → infeasible.
+        let mut m = CpModel::new();
+        let n = 2i64;
+        let sigma_t1 = 10i64;
+        let d: Vec<_> = (0..3).map(|_| m.add_var(sigma_t1 - n, sigma_t1 - 1)).collect();
+        m.all_different(&d);
+        assert!(m.solve().is_none());
+    }
+
+    #[test]
+    fn negative_coefficients() {
+        // x - y <= -2 → y >= x + 2.
+        let mut m = CpModel::new();
+        let x = m.add_var(0, 5);
+        let y = m.add_var(0, 5);
+        m.linear_le(&[(1, x), (-1, y)], -2);
+        m.minimize(&[(1, y)]);
+        let s = m.solve().unwrap();
+        assert_eq!(s[y], 2);
+        assert_eq!(s[x], 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Difference-constraint systems and DAG scheduling.
+//!
+//! Phase assignment over an acyclic netlist is, at its core, a system of
+//! difference constraints `x_j - x_i >= w_ij`. On a DAG the *minimal*
+//! feasible assignment (ASAP schedule) is the longest path from the sources,
+//! and the *maximal* assignment under a horizon (ALAP) is its mirror. A
+//! general Bellman-Ford solver handles (small) possibly-cyclic systems and
+//! doubles as an independent oracle in tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_solver::diffcon::DifferenceSystem;
+//!
+//! let mut sys = DifferenceSystem::new(3);
+//! sys.add(0, 1, 1); // x1 >= x0 + 1
+//! sys.add(1, 2, 2); // x2 >= x1 + 2
+//! let asap = sys.solve_min().expect("acyclic");
+//! assert_eq!(asap, vec![0, 1, 3]);
+//! ```
+
+/// A system of constraints `x_to - x_from >= weight` over variables
+/// `0..num_vars`, with implicit `x_i >= 0`.
+#[derive(Debug, Clone, Default)]
+pub struct DifferenceSystem {
+    num_vars: usize,
+    edges: Vec<(usize, usize, i64)>,
+}
+
+impl DifferenceSystem {
+    /// Creates a system over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        DifferenceSystem { num_vars, edges: Vec::new() }
+    }
+
+    /// Adds the constraint `x_to >= x_from + weight`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn add(&mut self, from: usize, to: usize, weight: i64) {
+        assert!(from < self.num_vars && to < self.num_vars, "variable out of range");
+        self.edges.push((from, to, weight));
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if there are no constraints.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Computes the pointwise-minimal non-negative solution (longest path
+    /// from the implicit zero source), or `None` if the constraint graph has
+    /// a positive cycle (infeasible).
+    ///
+    /// Runs Bellman-Ford in `O(V·E)`; use [`DifferenceSystem::solve_min_dag`]
+    /// for large acyclic systems.
+    pub fn solve_min(&self) -> Option<Vec<i64>> {
+        let mut x = vec![0i64; self.num_vars];
+        for round in 0..=self.num_vars {
+            let mut changed = false;
+            for &(from, to, w) in &self.edges {
+                if x[from] + w > x[to] {
+                    x[to] = x[from] + w;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return Some(x);
+            }
+            if round == self.num_vars {
+                return None; // positive cycle
+            }
+        }
+        Some(x)
+    }
+
+    /// Longest-path relaxation in topological order, `O(V + E)`.
+    ///
+    /// Returns `None` if the constraint graph is cyclic.
+    pub fn solve_min_dag(&self) -> Option<Vec<i64>> {
+        let order = self.topo_order()?;
+        let mut adj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); self.num_vars];
+        for &(from, to, w) in &self.edges {
+            adj[from].push((to, w));
+        }
+        let mut x = vec![0i64; self.num_vars];
+        for &u in &order {
+            for &(v, w) in &adj[u] {
+                if x[u] + w > x[v] {
+                    x[v] = x[u] + w;
+                }
+            }
+        }
+        Some(x)
+    }
+
+    /// Pointwise-maximal solution with every `x_i <= horizon` (ALAP).
+    ///
+    /// Returns `None` if the graph is cyclic or some longest path exceeds
+    /// the horizon (no feasible schedule within it).
+    pub fn solve_max_dag(&self, horizon: i64) -> Option<Vec<i64>> {
+        let order = self.topo_order()?;
+        let mut radj: Vec<Vec<(usize, i64)>> = vec![Vec::new(); self.num_vars];
+        for &(from, to, w) in &self.edges {
+            radj[to].push((from, w));
+        }
+        let mut x = vec![horizon; self.num_vars];
+        for &u in order.iter().rev() {
+            for &(from, w) in &radj[u] {
+                if x[u] - w < x[from] {
+                    x[from] = x[u] - w;
+                }
+            }
+        }
+        if x.iter().any(|&v| v < 0) {
+            return None;
+        }
+        Some(x)
+    }
+
+    fn topo_order(&self) -> Option<Vec<usize>> {
+        let mut indeg = vec![0usize; self.num_vars];
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); self.num_vars];
+        for &(from, to, _) in &self.edges {
+            indeg[to] += 1;
+            adj[from].push(to);
+        }
+        let mut queue: Vec<usize> = (0..self.num_vars).filter(|&v| indeg[v] == 0).collect();
+        let mut order = Vec::with_capacity(self.num_vars);
+        while let Some(u) = queue.pop() {
+            order.push(u);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        (order.len() == self.num_vars).then_some(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_asap() {
+        let mut s = DifferenceSystem::new(4);
+        s.add(0, 1, 1);
+        s.add(1, 2, 1);
+        s.add(2, 3, 1);
+        assert_eq!(s.solve_min().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(s.solve_min_dag().unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn diamond_takes_longest_path() {
+        let mut s = DifferenceSystem::new(4);
+        s.add(0, 1, 1);
+        s.add(0, 2, 3);
+        s.add(1, 3, 1);
+        s.add(2, 3, 1);
+        let x = s.solve_min_dag().unwrap();
+        assert_eq!(x[3], 4);
+    }
+
+    #[test]
+    fn positive_cycle_infeasible() {
+        let mut s = DifferenceSystem::new(2);
+        s.add(0, 1, 1);
+        s.add(1, 0, 1);
+        assert!(s.solve_min().is_none());
+        assert!(s.solve_min_dag().is_none());
+    }
+
+    #[test]
+    fn bellman_ford_matches_dag_on_random_dags() {
+        let mut seed = 42u64;
+        let mut next = move |m: u64| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) % m
+        };
+        for _ in 0..20 {
+            let n = 2 + next(10) as usize;
+            let mut s = DifferenceSystem::new(n);
+            for _ in 0..2 * n {
+                let a = next(n as u64) as usize;
+                let b = next(n as u64) as usize;
+                if a < b {
+                    s.add(a, b, next(4) as i64);
+                }
+            }
+            assert_eq!(s.solve_min(), s.solve_min_dag());
+        }
+    }
+
+    #[test]
+    fn alap_respects_horizon() {
+        let mut s = DifferenceSystem::new(3);
+        s.add(0, 1, 2);
+        s.add(1, 2, 2);
+        let alap = s.solve_max_dag(10).unwrap();
+        assert_eq!(alap, vec![6, 8, 10]);
+        // Horizon too small → infeasible.
+        assert!(s.solve_max_dag(3).is_none());
+    }
+
+    #[test]
+    fn asap_below_alap() {
+        let mut s = DifferenceSystem::new(5);
+        s.add(0, 2, 1);
+        s.add(1, 2, 2);
+        s.add(2, 3, 1);
+        s.add(2, 4, 3);
+        let asap = s.solve_min_dag().unwrap();
+        let alap = s.solve_max_dag(10).unwrap();
+        for i in 0..5 {
+            assert!(asap[i] <= alap[i], "var {i}: asap {} > alap {}", asap[i], alap[i]);
+        }
+    }
+
+    #[test]
+    fn empty_system() {
+        let s = DifferenceSystem::new(3);
+        assert!(s.is_empty());
+        assert_eq!(s.solve_min().unwrap(), vec![0, 0, 0]);
+    }
+}

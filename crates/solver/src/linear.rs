@@ -1,0 +1,180 @@
+//! Linear expressions and constraints shared by the LP/MILP layers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A variable handle inside an LP/MILP model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Comparison sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr <= bound`
+    Le,
+    /// `expr >= bound`
+    Ge,
+    /// `expr == bound`
+    Eq,
+}
+
+impl fmt::Display for Sense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sense::Le => "<=",
+            Sense::Ge => ">=",
+            Sense::Eq => "==",
+        })
+    }
+}
+
+/// A sparse linear expression `Σ coeff_i · x_i`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+}
+
+impl LinExpr {
+    /// The empty (zero) expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression consisting of a single variable with coefficient 1.
+    pub fn var(v: VarId) -> Self {
+        let mut e = Self::new();
+        e.add_term(v, 1.0);
+        e
+    }
+
+    /// Adds `coeff · v` to the expression.
+    pub fn add_term(&mut self, v: VarId, coeff: f64) -> &mut Self {
+        let entry = self.terms.entry(v).or_insert(0.0);
+        *entry += coeff;
+        if entry.abs() < 1e-12 {
+            self.terms.remove(&v);
+        }
+        self
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if the expression is identically zero.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression on an assignment indexed by `VarId`.
+    pub fn eval(&self, assignment: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(&v, &c)| c * assignment[v.0])
+            .sum()
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> Self {
+        LinExpr::var(v)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms() {
+            self.add_term(v, c);
+        }
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        for (v, c) in rhs.terms() {
+            self.add_term(v, -c);
+        }
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(self, k: f64) -> LinExpr {
+        let mut out = LinExpr::new();
+        for (v, c) in self.terms() {
+            out.add_term(v, c * k);
+        }
+        out
+    }
+}
+
+/// A linear constraint `expr (sense) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Left-hand side expression.
+    pub expr: LinExpr,
+    /// Comparison sense.
+    pub sense: Sense,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Builds a constraint.
+    pub fn new(expr: LinExpr, sense: Sense, rhs: f64) -> Self {
+        Constraint { expr, sense, rhs }
+    }
+
+    /// Checks the constraint against an assignment with tolerance `eps`.
+    pub fn satisfied(&self, assignment: &[f64], eps: f64) -> bool {
+        let lhs = self.expr.eval(assignment);
+        match self.sense {
+            Sense::Le => lhs <= self.rhs + eps,
+            Sense::Ge => lhs >= self.rhs - eps,
+            Sense::Eq => (lhs - self.rhs).abs() <= eps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_algebra() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let e = LinExpr::var(x) * 2.0 + LinExpr::var(y) - LinExpr::var(x);
+        let terms: Vec<_> = e.terms().collect();
+        assert_eq!(terms, vec![(x, 1.0), (y, 1.0)]);
+    }
+
+    #[test]
+    fn cancelling_terms_disappear() {
+        let x = VarId(0);
+        let e = LinExpr::var(x) - LinExpr::var(x);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn eval_and_satisfaction() {
+        let x = VarId(0);
+        let y = VarId(1);
+        let mut e = LinExpr::new();
+        e.add_term(x, 1.0).add_term(y, 2.0);
+        let c = Constraint::new(e, Sense::Le, 5.0);
+        assert!(c.satisfied(&[1.0, 2.0], 1e-9));
+        assert!(!c.satisfied(&[2.0, 2.0], 1e-9));
+    }
+}

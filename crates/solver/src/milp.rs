@@ -1,0 +1,345 @@
+//! Mixed-integer linear programming by branch and bound.
+//!
+//! Sits on top of [`crate::simplex`] and provides the exact engine for the
+//! paper's ILP phase-assignment formulation (§II-B). Variables are
+//! non-negative; integrality is declared per variable; optional upper bounds
+//! are turned into constraints.
+//!
+//! Intended for the instance sizes where exactness matters (unit tests,
+//! cross-validation of the scalable heuristic, small benchmark circuits).
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_solver::milp::MilpProblem;
+//! use sfq_solver::linear::{LinExpr, Sense};
+//!
+//! // Knapsack-ish: max 5a + 4b s.t. 6a + 4b <= 9, a,b binary → a=0,b=2? No:
+//! // b <= 1. Optimum a=1, b=0 (value 5) vs a=0,b=1 (value 4) → a=1.
+//! let mut p = MilpProblem::new();
+//! let a = p.add_int_var(0.0, Some(1.0));
+//! let b = p.add_int_var(0.0, Some(1.0));
+//! p.add_constraint(LinExpr::var(a) * 6.0 + LinExpr::var(b) * 4.0, Sense::Le, 9.0);
+//! p.set_objective(LinExpr::var(a) * -5.0 + LinExpr::var(b) * -4.0);
+//! let sol = p.solve().expect("feasible");
+//! assert_eq!(sol.int_value(a), 1);
+//! assert_eq!(sol.int_value(b), 0);
+//! ```
+
+use crate::linear::{Constraint, LinExpr, Sense, VarId};
+use crate::simplex::{solve_lp, LpOutcome, EPS};
+
+/// Integrality tolerance: an LP value this close to an integer is integral.
+const INT_EPS: f64 = 1e-6;
+
+/// A MILP model under construction.
+#[derive(Debug, Clone, Default)]
+pub struct MilpProblem {
+    num_vars: usize,
+    integer: Vec<bool>,
+    lower: Vec<f64>,
+    upper: Vec<Option<f64>>,
+    constraints: Vec<Constraint>,
+    objective: LinExpr,
+    /// Hard cap on explored branch-and-bound nodes (safety valve).
+    pub node_limit: usize,
+}
+
+/// A feasible MILP solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Objective value (minimization).
+    pub objective: f64,
+    /// Variable values indexed by `VarId`.
+    pub values: Vec<f64>,
+}
+
+impl MilpSolution {
+    /// Rounds the value of an integer variable to `i64`.
+    pub fn int_value(&self, v: VarId) -> i64 {
+        self.values[v.0].round() as i64
+    }
+}
+
+/// Errors from the MILP solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MilpError {
+    /// No feasible assignment exists.
+    Infeasible,
+    /// The relaxation is unbounded (model bug for our use cases).
+    Unbounded,
+    /// The node limit was exhausted before proving optimality.
+    NodeLimit,
+}
+
+impl std::fmt::Display for MilpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MilpError::Infeasible => f.write_str("model is infeasible"),
+            MilpError::Unbounded => f.write_str("relaxation is unbounded"),
+            MilpError::NodeLimit => f.write_str("node limit exhausted before optimality"),
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}
+
+impl MilpProblem {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        MilpProblem { node_limit: 200_000, ..Default::default() }
+    }
+
+    /// Adds a continuous variable with lower bound `lb` (≥ 0) and optional
+    /// upper bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb < 0` (the simplex core assumes non-negative variables)
+    /// or `ub < lb`.
+    pub fn add_var(&mut self, lb: f64, ub: Option<f64>) -> VarId {
+        assert!(lb >= 0.0, "variables are non-negative; shift your model");
+        if let Some(u) = ub {
+            assert!(u >= lb, "upper bound below lower bound");
+        }
+        let id = VarId(self.num_vars);
+        self.num_vars += 1;
+        self.integer.push(false);
+        self.lower.push(lb);
+        self.upper.push(ub);
+        id
+    }
+
+    /// Adds an integer variable with the given bounds.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`MilpProblem::add_var`].
+    pub fn add_int_var(&mut self, lb: f64, ub: Option<f64>) -> VarId {
+        let id = self.add_var(lb, ub);
+        self.integer[id.0] = true;
+        id
+    }
+
+    /// Adds the constraint `expr (sense) rhs`.
+    pub fn add_constraint(&mut self, expr: LinExpr, sense: Sense, rhs: f64) {
+        self.constraints.push(Constraint::new(expr, sense, rhs));
+    }
+
+    /// Sets the minimization objective.
+    pub fn set_objective(&mut self, obj: LinExpr) {
+        self.objective = obj;
+    }
+
+    /// Number of variables declared so far.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Solves the model to optimality.
+    ///
+    /// # Errors
+    ///
+    /// [`MilpError::Infeasible`] if no assignment satisfies the constraints,
+    /// [`MilpError::Unbounded`] if the LP relaxation is unbounded, and
+    /// [`MilpError::NodeLimit`] if branch and bound exceeds `node_limit`.
+    pub fn solve(&self) -> Result<MilpSolution, MilpError> {
+        // Materialize variable bounds as constraints once.
+        let mut base = self.constraints.clone();
+        for i in 0..self.num_vars {
+            if self.lower[i] > 0.0 {
+                base.push(Constraint::new(LinExpr::var(VarId(i)), Sense::Ge, self.lower[i]));
+            }
+            if let Some(u) = self.upper[i] {
+                base.push(Constraint::new(LinExpr::var(VarId(i)), Sense::Le, u));
+            }
+        }
+
+        let mut best: Option<MilpSolution> = None;
+        // DFS stack of extra bound constraints.
+        let mut stack: Vec<Vec<Constraint>> = vec![vec![]];
+        let mut nodes = 0usize;
+        while let Some(extra) = stack.pop() {
+            nodes += 1;
+            if nodes > self.node_limit {
+                return best.ok_or(MilpError::NodeLimit);
+            }
+            let mut cons = base.clone();
+            cons.extend(extra.iter().cloned());
+            let outcome = solve_lp(self.num_vars, &cons, &self.objective);
+            let sol = match outcome {
+                LpOutcome::Infeasible => continue,
+                LpOutcome::Unbounded => {
+                    // Unbounded relaxation at the root is a model error; in a
+                    // child it cannot happen (children are more constrained).
+                    if extra.is_empty() {
+                        return Err(MilpError::Unbounded);
+                    }
+                    continue;
+                }
+                LpOutcome::Optimal(s) => s,
+            };
+            // Bound: prune if not better than incumbent.
+            if let Some(b) = &best {
+                if sol.objective >= b.objective - EPS {
+                    continue;
+                }
+            }
+            // Find the most fractional integer variable.
+            let mut branch_var = None;
+            let mut branch_frac = 0.0;
+            for i in 0..self.num_vars {
+                if self.integer[i] {
+                    let v = sol.values[i];
+                    let frac = (v - v.round()).abs();
+                    if frac > INT_EPS && frac > branch_frac {
+                        branch_frac = frac;
+                        branch_var = Some(i);
+                    }
+                }
+            }
+            match branch_var {
+                None => {
+                    // Integral (round off numerical fuzz on integer vars).
+                    let mut values = sol.values.clone();
+                    for i in 0..self.num_vars {
+                        if self.integer[i] {
+                            values[i] = values[i].round();
+                        }
+                    }
+                    let objective = self.objective.eval(&values);
+                    if best.as_ref().is_none_or(|b| objective < b.objective - EPS) {
+                        best = Some(MilpSolution { objective, values });
+                    }
+                }
+                Some(i) => {
+                    let v = sol.values[i];
+                    let floor = v.floor();
+                    // Explore the side closer to the LP value first (pushed
+                    // last → popped first).
+                    let mut lo = extra.clone();
+                    lo.push(Constraint::new(LinExpr::var(VarId(i)), Sense::Le, floor));
+                    let mut hi = extra.clone();
+                    hi.push(Constraint::new(LinExpr::var(VarId(i)), Sense::Ge, floor + 1.0));
+                    if v - floor > 0.5 {
+                        stack.push(lo);
+                        stack.push(hi);
+                    } else {
+                        stack.push(hi);
+                        stack.push(lo);
+                    }
+                }
+            }
+        }
+        best.ok_or(MilpError::Infeasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut p = MilpProblem::new();
+        let x = p.add_var(0.0, Some(4.0));
+        p.set_objective(LinExpr::var(x) * -1.0);
+        let s = p.solve().unwrap();
+        assert!((s.values[x.0] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_lp_forced_integer() {
+        // max x s.t. 2x <= 5, x integer → x = 2.
+        let mut p = MilpProblem::new();
+        let x = p.add_int_var(0.0, None);
+        p.add_constraint(LinExpr::var(x) * 2.0, Sense::Le, 5.0);
+        p.set_objective(LinExpr::var(x) * -1.0);
+        let s = p.solve().unwrap();
+        assert_eq!(s.int_value(x), 2);
+    }
+
+    #[test]
+    fn binary_knapsack() {
+        // max 10a + 6b + 4c s.t. a + b + c <= 2, 5a + 4b + 3c <= 8; binaries.
+        let mut p = MilpProblem::new();
+        let a = p.add_int_var(0.0, Some(1.0));
+        let b = p.add_int_var(0.0, Some(1.0));
+        let c = p.add_int_var(0.0, Some(1.0));
+        p.add_constraint(
+            LinExpr::var(a) + LinExpr::var(b) + LinExpr::var(c),
+            Sense::Le,
+            2.0,
+        );
+        p.add_constraint(
+            LinExpr::var(a) * 5.0 + LinExpr::var(b) * 4.0 + LinExpr::var(c) * 3.0,
+            Sense::Le,
+            8.0,
+        );
+        p.set_objective(LinExpr::var(a) * -10.0 + LinExpr::var(b) * -6.0 + LinExpr::var(c) * -4.0);
+        let s = p.solve().unwrap();
+        assert!((s.objective + 14.0).abs() < 1e-5, "objective {}", s.objective);
+        assert_eq!(s.int_value(a), 1);
+        assert_eq!(s.int_value(c), 1);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 <= x <= 0.6 with x integer → infeasible.
+        let mut p = MilpProblem::new();
+        let x = p.add_int_var(0.0, None);
+        p.add_constraint(LinExpr::var(x), Sense::Ge, 0.4);
+        p.add_constraint(LinExpr::var(x), Sense::Le, 0.6);
+        assert_eq!(p.solve(), Err(MilpError::Infeasible));
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min y s.t. y >= x - 2.5, y >= 2.5 - x, x integer in [0,5]:
+        // best integer x is 2 or 3 giving y = 0.5.
+        let mut p = MilpProblem::new();
+        let x = p.add_int_var(0.0, Some(5.0));
+        let y = p.add_var(0.0, None);
+        p.add_constraint(LinExpr::var(y) - LinExpr::var(x), Sense::Ge, -2.5);
+        p.add_constraint(LinExpr::var(y) + LinExpr::var(x), Sense::Ge, 2.5);
+        p.set_objective(LinExpr::var(y));
+        let s = p.solve().unwrap();
+        assert!((s.objective - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn equality_with_integers() {
+        // x + y == 7, x - y == 1 over integers → (4, 3).
+        let mut p = MilpProblem::new();
+        let x = p.add_int_var(0.0, None);
+        let y = p.add_int_var(0.0, None);
+        p.add_constraint(LinExpr::var(x) + LinExpr::var(y), Sense::Eq, 7.0);
+        p.add_constraint(LinExpr::var(x) - LinExpr::var(y), Sense::Eq, 1.0);
+        p.set_objective(LinExpr::var(x));
+        let s = p.solve().unwrap();
+        assert_eq!(s.int_value(x), 4);
+        assert_eq!(s.int_value(y), 3);
+    }
+
+    #[test]
+    fn scheduling_with_ceil_linearization() {
+        // The DFF-count linearization used by phase assignment:
+        // min d s.t. n*d >= s_j - s_i - n with n = 4, s_j - s_i = 9
+        // → d >= 5/4 → d = 2 (i.e. floor((9-1)/4) = 2).
+        let mut p = MilpProblem::new();
+        let d = p.add_int_var(0.0, None);
+        p.add_constraint(LinExpr::var(d) * 4.0, Sense::Ge, 9.0 - 4.0);
+        p.set_objective(LinExpr::var(d));
+        let s = p.solve().unwrap();
+        assert_eq!(s.int_value(d), 2);
+    }
+
+    #[test]
+    fn respects_lower_bounds() {
+        let mut p = MilpProblem::new();
+        let x = p.add_int_var(3.0, Some(10.0));
+        p.set_objective(LinExpr::var(x));
+        let s = p.solve().unwrap();
+        assert_eq!(s.int_value(x), 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! Exploring the design space with a custom cell library: how does the T1
+//! advantage change as the relative cost of DFFs and T1 cells varies?
+//!
+//! The JJ counts of real fabrication processes differ; the `CellLibrary` is
+//! fully parametric, so a user can evaluate the flow for their own PDK.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example custom_library
+//! ```
+
+use sfq_t1::circuits::epfl;
+use sfq_t1::t1map::cells::CellLibrary;
+use sfq_t1::t1map::flow::{run_flow, FlowConfig};
+
+fn main() {
+    let aig = epfl::adder(32);
+    println!("32-bit adder under varying cell libraries\n");
+    println!(
+        "{:<28} {:>9} {:>9} {:>7}",
+        "library", "4φ area", "T1 area", "ratio"
+    );
+
+    let mut default_lib = CellLibrary::default();
+    run_one("default", &aig, &default_lib);
+
+    // An expensive-DFF process (e.g. larger storage loops): path balancing
+    // dominates, and the T1's DFF savings matter more.
+    let mut dff_heavy = CellLibrary::default();
+    dff_heavy.dff = 12;
+    run_one("expensive DFFs (12 JJ)", &aig, &dff_heavy);
+
+    // A cheap-DFF process compresses the T1 advantage.
+    let mut dff_light = CellLibrary::default();
+    dff_light.dff = 3;
+    run_one("cheap DFFs (3 JJ)", &aig, &dff_light);
+
+    // A bulky T1 cell (conservative margins on the counter loop) can lose:
+    // the flow then simply selects fewer T1 groups.
+    let mut t1_heavy = CellLibrary::default();
+    t1_heavy.t1_core = 45;
+    run_one("bulky T1 core (45 JJ)", &aig, &t1_heavy);
+
+    // Bigger baseline majority cells favour the T1.
+    default_lib.maj3 = 24;
+    run_one("large MAJ3 (24 JJ)", &aig, &default_lib);
+}
+
+fn run_one(name: &str, aig: &sfq_t1::netlist::Aig, lib: &CellLibrary) {
+    let multi = run_flow(aig, lib, &FlowConfig::multiphase(4));
+    let t1 = run_flow(aig, lib, &FlowConfig::t1(4));
+    println!(
+        "{:<28} {:>9} {:>9} {:>7.2}  (T1 used: {})",
+        name,
+        multi.stats.area,
+        t1.stats.area,
+        t1.stats.area as f64 / multi.stats.area as f64,
+        t1.stats.t1_used
+    );
+}

@@ -1,0 +1,193 @@
+//! `sfq-t1` — command-line front end for the T1-aware SFQ mapping flow.
+//!
+//! ```text
+//! sfq-t1 gen <benchmark> [width] -o out.aag      generate a benchmark circuit
+//! sfq-t1 map <in.aag|in.aig> [options]           run a mapping flow, print stats
+//! sfq-t1 verify <in.aag|in.aig> [options]        map + wave-pipelined pulse-sim check
+//!
+//! options:
+//!   --phases N       number of clock phases (default 4)
+//!   --no-t1          disable T1 detection (baseline flow)
+//!   --exact          exact MILP phase assignment (small circuits)
+//!   --verilog FILE   write structural Verilog (with --models FILE for cell models)
+//!   --dot FILE       write a Graphviz visualization of the scheduled netlist
+//!   --waves K        number of verification waves (verify; default 8)
+//! ```
+
+use std::process::ExitCode;
+
+use sfq_t1::circuits::{epfl, iscas};
+use sfq_t1::netlist::aiger;
+use sfq_t1::netlist::Aig;
+use sfq_t1::t1map::cells::CellLibrary;
+use sfq_t1::t1map::flow::{run_flow, FlowConfig, PhaseEngine};
+use sfq_t1::t1map::verilog::{cell_models, export, ExportOptions};
+use sfq_t1::t1map::to_pulse_circuit;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: sfq-t1 <gen|map|verify> ... (see --help in README)".to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("map") => cmd_map(&args[1..], false),
+        Some("verify") => cmd_map(&args[1..], true),
+        Some("--help" | "-h") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'; {}", usage())),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn load_aig(path: &str) -> Result<Aig, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.starts_with(b"aag") {
+        let text = String::from_utf8(bytes).map_err(|e| e.to_string())?;
+        aiger::read_ascii(&text).map_err(|e| e.to_string())
+    } else if bytes.starts_with(b"aig") {
+        aiger::read_binary(&bytes).map_err(|e| e.to_string())
+    } else {
+        Err(format!("{path}: neither ASCII ('aag') nor binary ('aig') AIGER"))
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .ok_or("gen: benchmark name required (adder, multiplier, square, sin, log2, voter, c6288, c7552)")?;
+    let width: usize = args
+        .get(1)
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.parse().map_err(|e| format!("bad width: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let out = flag_value(args, "-o").unwrap_or("out.aag");
+    let aig = match name.as_str() {
+        "adder" => epfl::adder(if width == 0 { 128 } else { width }),
+        "multiplier" => epfl::multiplier(if width == 0 { 32 } else { width }),
+        "square" => epfl::square(if width == 0 { 32 } else { width }),
+        "sin" => epfl::sin(if width == 0 { 16 } else { width }),
+        "log2" => epfl::log2(if width == 0 { 32 } else { width }),
+        "voter" => epfl::voter(if width == 0 { 255 } else { width }),
+        "c6288" => iscas::c6288_like(),
+        "c7552" => iscas::c7552_like(),
+        other => return Err(format!("unknown benchmark '{other}'")),
+    };
+    let payload = if out.ends_with(".aig") {
+        aiger::write_binary(&aig)
+    } else {
+        aiger::write_ascii(&aig).into_bytes()
+    };
+    std::fs::write(out, payload).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "{name}: {} inputs, {} outputs, {} AND gates -> {out}",
+        aig.pi_count(),
+        aig.po_count(),
+        aig.and_count()
+    );
+    Ok(())
+}
+
+fn cmd_map(args: &[String], verify: bool) -> Result<(), String> {
+    let path = args.first().ok_or("input AIGER file required")?;
+    let aig = load_aig(path)?;
+    let phases: u32 = flag_value(args, "--phases")
+        .map(|v| v.parse().map_err(|e| format!("bad --phases: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let use_t1 = !has_flag(args, "--no-t1");
+    if use_t1 && phases < 3 {
+        return Err("T1 flows need at least 3 phases (use --no-t1 for fewer)".into());
+    }
+    let mut cfg = if use_t1 { FlowConfig::t1(phases) } else { FlowConfig::multiphase(phases) };
+    if has_flag(args, "--exact") {
+        cfg.engine = PhaseEngine::Exact;
+    }
+    let lib = CellLibrary::default();
+    let res = run_flow(&aig, &lib, &cfg);
+    println!(
+        "{path}: {} ANDs -> {} gates + {} T1 cells ({} found)",
+        aig.and_count(),
+        res.stats.gates,
+        res.stats.t1_used,
+        res.stats.t1_found
+    );
+    println!(
+        "  DFFs {}  splitters {}  area {} JJ  depth {} cycles (n = {phases})",
+        res.stats.dffs, res.stats.splitters, res.stats.area, res.stats.depth_cycles
+    );
+
+    if let Some(dfile) = flag_value(args, "--dot") {
+        std::fs::write(dfile, sfq_t1::t1map::dot::to_dot(&res))
+            .map_err(|e| format!("cannot write {dfile}: {e}"))?;
+        println!("  graphviz -> {dfile}");
+    }
+    if let Some(vfile) = flag_value(args, "--verilog") {
+        let v = export(&res, &ExportOptions::default());
+        std::fs::write(vfile, v).map_err(|e| format!("cannot write {vfile}: {e}"))?;
+        println!("  structural Verilog -> {vfile}");
+        if let Some(mfile) = flag_value(args, "--models") {
+            std::fs::write(mfile, cell_models()).map_err(|e| e.to_string())?;
+            println!("  cell models -> {mfile}");
+        }
+    }
+
+    if verify {
+        let waves: usize = flag_value(args, "--waves")
+            .map(|v| v.parse().map_err(|e| format!("bad --waves: {e}")))
+            .transpose()?
+            .unwrap_or(8);
+        let pc = to_pulse_circuit(&res.mapped, &res.schedule, &res.plan);
+        let mut seed = 0xD1CE_F00D_u64 | 1;
+        let vectors: Vec<Vec<bool>> = (0..waves)
+            .map(|_| {
+                (0..aig.pi_count())
+                    .map(|_| {
+                        seed ^= seed << 13;
+                        seed ^= seed >> 7;
+                        seed ^= seed << 17;
+                        seed & 1 == 1
+                    })
+                    .collect()
+            })
+            .collect();
+        let outcome = pc.simulate(&vectors, phases).map_err(|e| e.to_string())?;
+        for (k, v) in vectors.iter().enumerate() {
+            if outcome.outputs[k] != aig.eval(v) {
+                return Err(format!("verification FAILED on wave {k}"));
+            }
+        }
+        println!(
+            "  verified: {waves} waves wave-pipelined, {} hazards, {} pulses",
+            outcome.hazards, outcome.pulses
+        );
+        if outcome.hazards > 0 {
+            return Err("T1 pulse-overlap hazards detected".into());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,110 @@
+//! Integration test of the `sfq-t1` command-line tool: generate → map →
+//! verify → export, through real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sfq-t1"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sfq_t1_cli_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_map_verify_roundtrip() {
+    let aag = tmp("adder.aag");
+    let out = bin()
+        .args(["gen", "adder", "8", "-o", aag.to_str().unwrap()])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["verify", aag.to_str().unwrap(), "--waves", "4"])
+        .output()
+        .expect("run verify");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "verify failed: {stdout}");
+    assert!(stdout.contains("verified: 4 waves"), "{stdout}");
+    assert!(stdout.contains("0 hazards"), "{stdout}");
+    let _ = std::fs::remove_file(&aag);
+}
+
+#[test]
+fn binary_aiger_and_verilog_export() {
+    let aig = tmp("mult.aig");
+    let v = tmp("mult.v");
+    let models = tmp("models.v");
+    let out = bin()
+        .args(["gen", "c6288", "-o", aig.to_str().unwrap()])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+
+    let out = bin()
+        .args([
+            "map",
+            aig.to_str().unwrap(),
+            "--verilog",
+            v.to_str().unwrap(),
+            "--models",
+            models.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run map");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let verilog = std::fs::read_to_string(&v).expect("verilog written");
+    assert!(verilog.contains("module sfq_top"));
+    assert!(verilog.contains("sfq_t1 "));
+    let m = std::fs::read_to_string(&models).expect("models written");
+    assert!(m.contains("module sfq_t1"));
+    for f in [&aig, &v, &models] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn baseline_flow_flag() {
+    let aag = tmp("voter.aag");
+    assert!(bin()
+        .args(["gen", "voter", "15", "-o", aag.to_str().unwrap()])
+        .status()
+        .expect("gen")
+        .success());
+    let out = bin()
+        .args(["map", aag.to_str().unwrap(), "--no-t1", "--phases", "2"])
+        .output()
+        .expect("map");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success());
+    assert!(stdout.contains("0 T1 cells"), "{stdout}");
+    let _ = std::fs::remove_file(&aag);
+}
+
+#[test]
+fn errors_are_reported() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    // Missing file.
+    let out = bin().args(["map", "/nonexistent.aag"]).output().expect("run");
+    assert!(!out.status.success());
+    // T1 with too few phases.
+    let aag = tmp("tiny.aag");
+    assert!(bin()
+        .args(["gen", "adder", "2", "-o", aag.to_str().unwrap()])
+        .status()
+        .expect("gen")
+        .success());
+    let out = bin()
+        .args(["map", aag.to_str().unwrap(), "--phases", "2"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at least 3 phases"));
+    let _ = std::fs::remove_file(&aag);
+}

@@ -1,0 +1,138 @@
+//! Degenerate-input robustness: the flow must handle networks with no
+//! logic, constant outputs, pass-through outputs and duplicated outputs
+//! without panicking, and the simulation bridge must agree.
+
+use sfq_t1::netlist::{Aig, Lit};
+use sfq_t1::t1map::cells::CellLibrary;
+use sfq_t1::t1map::flow::{run_flow, FlowConfig};
+use sfq_t1::t1map::to_pulse_circuit;
+
+fn check(aig: &Aig, cfg: &FlowConfig, vectors: Vec<Vec<bool>>) {
+    let lib = CellLibrary::default();
+    let res = run_flow(aig, &lib, cfg);
+    res.schedule.validate(&res.mapped).expect("valid schedule");
+    for v in &vectors {
+        assert_eq!(aig.eval(v), res.mapped.eval(v), "combinational equivalence");
+    }
+    let pc = to_pulse_circuit(&res.mapped, &res.schedule, &res.plan);
+    let outcome = pc.simulate(&vectors, cfg.phases).expect("simulatable");
+    for (k, v) in vectors.iter().enumerate() {
+        assert_eq!(outcome.outputs[k], aig.eval(v), "pulse-sim equivalence wave {k}");
+    }
+}
+
+#[test]
+fn passthrough_output() {
+    let mut g = Aig::new();
+    let a = g.add_pi();
+    g.add_po(a);
+    check(&g, &FlowConfig::multiphase(4), vec![vec![true], vec![false]]);
+    check(&g, &FlowConfig::single_phase(), vec![vec![true], vec![false]]);
+}
+
+#[test]
+fn inverted_passthrough_output() {
+    let mut g = Aig::new();
+    let a = g.add_pi();
+    g.add_po(!a);
+    check(&g, &FlowConfig::t1(4), vec![vec![true], vec![false]]);
+}
+
+#[test]
+fn constant_outputs_only() {
+    let mut g = Aig::new();
+    let _a = g.add_pi();
+    g.add_po(Lit::FALSE);
+    g.add_po(Lit::TRUE);
+    check(&g, &FlowConfig::multiphase(4), vec![vec![true], vec![false]]);
+}
+
+#[test]
+fn duplicated_output() {
+    let mut g = Aig::new();
+    let a = g.add_pi();
+    let b = g.add_pi();
+    let x = g.and(a, b);
+    g.add_po(x);
+    g.add_po(x);
+    g.add_po(!x);
+    check(
+        &g,
+        &FlowConfig::multiphase(4),
+        (0..4u32).map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1]).collect(),
+    );
+}
+
+#[test]
+fn single_gate_each_flow() {
+    let mut g = Aig::new();
+    let a = g.add_pi();
+    let b = g.add_pi();
+    let x = g.xor(a, b);
+    g.add_po(x);
+    let vectors: Vec<Vec<bool>> =
+        (0..4u32).map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1]).collect();
+    check(&g, &FlowConfig::single_phase(), vectors.clone());
+    check(&g, &FlowConfig::multiphase(4), vectors.clone());
+    check(&g, &FlowConfig::t1(4), vectors);
+}
+
+#[test]
+fn mixed_constant_and_logic_outputs() {
+    let mut g = Aig::new();
+    let a = g.add_pi();
+    let b = g.add_pi();
+    let c = g.add_pi();
+    let s = g.xor3(a, b, c);
+    let m = g.maj3(a, b, c);
+    g.add_po(Lit::TRUE);
+    g.add_po(s);
+    g.add_po(Lit::FALSE);
+    g.add_po(m);
+    g.add_po(a);
+    let vectors: Vec<Vec<bool>> = (0..8u32)
+        .map(|i| (0..3).map(|k| (i >> k) & 1 == 1).collect())
+        .collect();
+    check(&g, &FlowConfig::t1(4), vectors);
+}
+
+#[test]
+fn deep_chain_single_phase() {
+    // A 40-deep AND chain under 1φ: large exact balancing, still correct.
+    let mut g = Aig::new();
+    let a = g.add_pi();
+    let b = g.add_pi();
+    let mut acc = g.and(a, b);
+    for _ in 0..39 {
+        acc = g.and(acc, a);
+    }
+    g.add_po(acc);
+    check(
+        &g,
+        &FlowConfig::single_phase(),
+        vec![vec![true, true], vec![true, false], vec![false, true]],
+    );
+}
+
+#[test]
+fn wide_fanout_shared_chains() {
+    // One driver fanning out to many consumers at staggered depths.
+    let mut g = Aig::new();
+    let a = g.add_pi();
+    let b = g.add_pi();
+    let hub = g.and(a, b);
+    let mut tail = hub;
+    let mut taps = Vec::new();
+    for _ in 0..10 {
+        tail = g.and(tail, hub);
+        taps.push(tail);
+    }
+    for t in taps {
+        g.add_po(t);
+    }
+    check(
+        &g,
+        &FlowConfig::multiphase(4),
+        vec![vec![true, true], vec![false, true]],
+    );
+}

@@ -1,0 +1,97 @@
+//! Property-based integration tests: universal invariants of the flow over
+//! randomly generated networks.
+
+use proptest::prelude::*;
+use sfq_t1::circuits::random::{random_aig, RandomAigConfig};
+use sfq_t1::t1map::cells::CellLibrary;
+use sfq_t1::t1map::flow::{run_flow, FlowConfig};
+use sfq_t1::t1map::to_pulse_circuit;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Mapping (with and without T1) preserves the Boolean function.
+    #[test]
+    fn flows_preserve_function(seed in 0u64..5000, xor_pct in 0u8..70) {
+        let cfg = RandomAigConfig { num_pis: 6, num_gates: 48, num_pos: 4, xor_percent: xor_pct };
+        let aig = random_aig(seed, &cfg);
+        let lib = CellLibrary::default();
+        for fc in [FlowConfig::single_phase(), FlowConfig::multiphase(4), FlowConfig::t1(4)] {
+            let res = run_flow(&aig, &lib, &fc);
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            for _ in 0..3 {
+                let inputs: Vec<u64> = (0..aig.pi_count()).map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                }).collect();
+                prop_assert_eq!(aig.eval64(&inputs), res.mapped.eval64(&inputs));
+            }
+        }
+    }
+
+    /// Every produced schedule satisfies all timing constraints.
+    #[test]
+    fn schedules_always_valid(seed in 0u64..5000, n in 3u32..8) {
+        let cfg = RandomAigConfig { num_pis: 5, num_gates: 40, num_pos: 3, xor_percent: 40 };
+        let aig = random_aig(seed, &cfg);
+        let lib = CellLibrary::default();
+        let res = run_flow(&aig, &lib, &FlowConfig::t1(n));
+        prop_assert_eq!(res.schedule.validate(&res.mapped), Ok(()));
+    }
+
+    /// Pulse simulation of the scheduled netlist reproduces the AIG on
+    /// streamed waves, without T1 hazards.
+    #[test]
+    fn pulse_sim_equivalence(seed in 0u64..2000) {
+        let cfg = RandomAigConfig { num_pis: 5, num_gates: 32, num_pos: 3, xor_percent: 40 };
+        let aig = random_aig(seed, &cfg);
+        let lib = CellLibrary::default();
+        let res = run_flow(&aig, &lib, &FlowConfig::t1(4));
+        let pc = to_pulse_circuit(&res.mapped, &res.schedule, &res.plan);
+        let mut s = seed | 1;
+        let vectors: Vec<Vec<bool>> = (0..3).map(|_| {
+            (0..aig.pi_count()).map(|_| {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                s & 1 == 1
+            }).collect()
+        }).collect();
+        let out = pc.simulate(&vectors, 4).expect("valid schedule");
+        prop_assert_eq!(out.hazards, 0);
+        for (k, v) in vectors.iter().enumerate() {
+            prop_assert_eq!(&out.outputs[k], &aig.eval(v));
+        }
+    }
+
+    /// Multiphase clocking can only reduce DFFs relative to single-phase,
+    /// and more phases never increase the count (same netlist, same engine).
+    #[test]
+    fn more_phases_fewer_dffs(seed in 0u64..2000) {
+        let cfg = RandomAigConfig { num_pis: 6, num_gates: 40, num_pos: 3, xor_percent: 20 };
+        let aig = random_aig(seed, &cfg);
+        let lib = CellLibrary::default();
+        let d1 = run_flow(&aig, &lib, &FlowConfig::single_phase()).stats.dffs;
+        let d4 = run_flow(&aig, &lib, &FlowConfig::multiphase(4)).stats.dffs;
+        let d8 = run_flow(&aig, &lib, &FlowConfig::multiphase(8)).stats.dffs;
+        prop_assert!(d4 <= d1, "4 phases ({d4}) worse than 1 ({d1})");
+        prop_assert!(d8 <= d4 + d4 / 8 + 1, "8 phases ({d8}) much worse than 4 ({d4})");
+    }
+
+    /// The T1 flow never breaks even when nothing matches: selecting zero
+    /// groups must reproduce the baseline exactly.
+    #[test]
+    fn and_only_networks_unaffected_by_t1(seed in 0u64..2000) {
+        let cfg = RandomAigConfig { num_pis: 6, num_gates: 30, num_pos: 3, xor_percent: 0 };
+        let aig = random_aig(seed, &cfg);
+        let lib = CellLibrary::default();
+        let base = run_flow(&aig, &lib, &FlowConfig::multiphase(4));
+        let t1 = run_flow(&aig, &lib, &FlowConfig::t1(4));
+        // AND-only networks can still contain MAJ structures; only compare
+        // when nothing was used.
+        if t1.stats.t1_used == 0 {
+            prop_assert_eq!(t1.stats.area, base.stats.area);
+            prop_assert_eq!(t1.stats.dffs, base.stats.dffs);
+        }
+    }
+}
