@@ -19,7 +19,16 @@ fn bench_netlist(c: &mut Criterion) {
     let mut group = c.benchmark_group("netlist");
     group.sample_size(20);
     group.bench_function("cut-enum-adder64-k3", |b| {
-        b.iter(|| enumerate_cuts(&aig, &CutConfig { max_leaves: 3, max_cuts: 20 }).total())
+        b.iter(|| {
+            enumerate_cuts(
+                &aig,
+                &CutConfig {
+                    max_leaves: 3,
+                    max_cuts: 20,
+                },
+            )
+            .total()
+        })
     });
     group.bench_function("npn-canon-all-3var", |b| {
         b.iter(|| {
@@ -31,7 +40,9 @@ fn bench_netlist(c: &mut Criterion) {
         })
     });
     group.bench_function("eval64-adder64", |b| {
-        let inputs: Vec<u64> = (0..aig.pi_count() as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let inputs: Vec<u64> = (0..aig.pi_count() as u64)
+            .map(|i| i.wrapping_mul(0x9E37))
+            .collect();
         b.iter(|| aig.eval64(&inputs))
     });
     group.finish();
@@ -51,7 +62,11 @@ fn bench_solvers(c: &mut Criterion) {
                 1.0,
             ));
         }
-        cons.push(Constraint::new(LinExpr::var(VarId(n - 1)), Sense::Le, 100.0));
+        cons.push(Constraint::new(
+            LinExpr::var(VarId(n - 1)),
+            Sense::Le,
+            100.0,
+        ));
         let obj = LinExpr::var(VarId(n - 1)) - LinExpr::var(VarId(0));
         b.iter(|| solve_lp(n, &cons, &obj))
     });
@@ -74,15 +89,16 @@ fn bench_solvers(c: &mut Criterion) {
         b.iter(|| {
             let (p, h) = (6, 5);
             let mut s = SatSolver::new();
-            let vars: Vec<Vec<_>> =
-                (0..p).map(|_| (0..h).map(|_| s.new_var()).collect()).collect();
+            let vars: Vec<Vec<_>> = (0..p)
+                .map(|_| (0..h).map(|_| s.new_var()).collect())
+                .collect();
             for row in &vars {
                 s.add_clause(row.iter().map(|&v| SatLit::pos(v)));
             }
-            for hole in 0..h {
-                for a in 0..p {
-                    for b2 in a + 1..p {
-                        s.add_clause([SatLit::neg(vars[a][hole]), SatLit::neg(vars[b2][hole])]);
+            for (a, row1) in vars.iter().enumerate() {
+                for row2 in &vars[a + 1..] {
+                    for (&va, &vb) in row1.iter().zip(row2) {
+                        s.add_clause([SatLit::neg(va), SatLit::neg(vb)]);
                     }
                 }
             }
@@ -99,7 +115,11 @@ fn bench_pulse_sim(c: &mut Criterion) {
     let res = run_flow(&aig, &lib, &FlowConfig::t1(4));
     let pc = to_pulse_circuit(&res.mapped, &res.schedule, &res.plan);
     let vectors: Vec<Vec<bool>> = (0..16u64)
-        .map(|k| (0..32).map(|i| (k.wrapping_mul(0x9E3779B9) >> (i % 60)) & 1 == 1).collect())
+        .map(|k| {
+            (0..32)
+                .map(|i| (k.wrapping_mul(0x9E3779B9) >> (i % 60)) & 1 == 1)
+                .collect()
+        })
         .collect();
     let mut group = c.benchmark_group("pulse-sim");
     group.sample_size(20);

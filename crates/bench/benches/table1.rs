@@ -38,14 +38,20 @@ fn bench_flow_stages(c: &mut Criterion) {
     let aig = epfl::adder(32);
     let mut group = c.benchmark_group("flow-stages-adder32");
     group.sample_size(20);
-    group.bench_function("mapping", |b| b.iter(|| map(&aig, &lib, None).circuit.len()));
+    group.bench_function("mapping", |b| {
+        b.iter(|| map(&aig, &lib, None).circuit.len())
+    });
     group.bench_function("detection", |b| {
         b.iter(|| detect(&aig, &lib, &DetectConfig::default()).found())
     });
     let mc = map(&aig, &lib, None).circuit;
-    group.bench_function("phase-assignment", |b| b.iter(|| assign_phases(&mc, 4, 2).horizon));
+    group.bench_function("phase-assignment", |b| {
+        b.iter(|| assign_phases(&mc, 4, 2).horizon)
+    });
     let sched = assign_phases(&mc, 4, 2);
-    group.bench_function("dff-insertion", |b| b.iter(|| insert_dffs(&mc, &sched).total_dffs));
+    group.bench_function("dff-insertion", |b| {
+        b.iter(|| insert_dffs(&mc, &sched).total_dffs)
+    });
     group.finish();
 }
 

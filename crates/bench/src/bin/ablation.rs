@@ -19,9 +19,7 @@ use t1map::cells::CellLibrary;
 use t1map::dff::insert_dffs;
 use t1map::flow::{run_flow, FlowConfig};
 use t1map::mapper::map;
-use t1map::phase::{
-    assign_phases_exact, assign_phases_with, edge_dff_objective, SearchObjective,
-};
+use t1map::phase::{assign_phases_exact, assign_phases_with, edge_dff_objective, SearchObjective};
 
 fn main() {
     let lib = CellLibrary::default();
@@ -54,7 +52,10 @@ fn main() {
     );
 
     println!("\n=== abl-exact: heuristic vs exact MILP (per-edge ILP objective) ===");
-    println!("{:<10} {:>2} | {:>10} {:>10} {:>7}", "circuit", "n", "heuristic", "exact", "gap");
+    println!(
+        "{:<10} {:>2} | {:>10} {:>10} {:>7}",
+        "circuit", "n", "heuristic", "exact", "gap"
+    );
     for (name, aig) in [
         ("adder2", epfl::adder(2)),
         ("adder3", epfl::adder(3)),
@@ -141,7 +142,11 @@ fn main() {
                         res.selected()
                     );
                 }
-                Err(e) => println!("{name:<10} | {:>6} {greedy:>12} {:>12} ({e})", res.found(), "-"),
+                Err(e) => println!(
+                    "{name:<10} | {:>6} {greedy:>12} {:>12} ({e})",
+                    res.found(),
+                    "-"
+                ),
             }
         }
         println!("(greedy-by-gain matches the ILP optimum on these instances)");
@@ -183,7 +188,10 @@ fn main() {
                         &vectors,
                         4,
                         None,
-                        SimOptions { jitter_amplitude: amplitude, jitter_seed: js },
+                        SimOptions {
+                            jitter_amplitude: amplitude,
+                            jitter_seed: js,
+                        },
                     )
                     .expect("valid schedule");
                 hazards += out.hazards;

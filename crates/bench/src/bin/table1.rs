@@ -19,7 +19,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned();
 
-    let scale = if small { BenchmarkScale::small() } else { BenchmarkScale::paper() };
+    let scale = if small {
+        BenchmarkScale::small()
+    } else {
+        BenchmarkScale::paper()
+    };
     let lib = CellLibrary::default();
     let n = 4;
 

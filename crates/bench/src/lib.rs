@@ -100,7 +100,16 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            ["adder", "c7552", "c6288", "sin", "voter", "square", "multiplier", "log2"]
+            [
+                "adder",
+                "c7552",
+                "c6288",
+                "sin",
+                "voter",
+                "square",
+                "multiplier",
+                "log2"
+            ]
         );
     }
 }

@@ -69,7 +69,10 @@ pub fn ripple_carry_adder(g: &mut Aig, a: &[Lit], b: &[Lit], cin: Option<Lit>) -
 ///
 /// Panics if the widths differ.
 pub fn carry_save(g: &mut Aig, a: &[Lit], b: &[Lit], c: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
-    assert!(a.len() == b.len() && b.len() == c.len(), "widths must match");
+    assert!(
+        a.len() == b.len() && b.len() == c.len(),
+        "widths must match"
+    );
     let mut sums = Vec::with_capacity(a.len());
     let mut carries = vec![Lit::FALSE];
     for i in 0..a.len() {
@@ -149,8 +152,8 @@ pub fn array_multiplier(g: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
     let rows: Vec<Vec<Lit>> = (0..n)
         .map(|j| {
             let mut row = vec![Lit::FALSE; j];
-            for i in 0..n {
-                row.push(g.and(a[i], b[j]));
+            for &ai in a {
+                row.push(g.and(ai, b[j]));
             }
             row
         })
@@ -216,13 +219,13 @@ pub fn ge_const(g: &mut Aig, a: &[Lit], k: u64) -> Lit {
     }
     // From MSB down: result = a_i > k_i or (a_i == k_i and rest >= ...).
     let mut result = Lit::TRUE; // a >= k on empty suffix means equality so far
-    for i in 0..a.len() {
+    for (i, &ai) in a.iter().enumerate() {
         let ki = (k >> i) & 1 == 1;
         result = if ki {
             // a_i must be 1 and rest >=, or a_i = 1 and carry... simplified:
-            g.and(a[i], result)
+            g.and(ai, result)
         } else {
-            g.or(a[i], result)
+            g.or(ai, result)
         };
     }
     result
@@ -278,7 +281,11 @@ pub fn barrel_shift_right(g: &mut Aig, a: &[Lit], s: &[Lit]) -> Vec<Lit> {
         let shift = 1usize << stage;
         let mut next = Vec::with_capacity(cur.len());
         for i in 0..cur.len() {
-            let shifted = if i + shift < cur.len() { cur[i + shift] } else { Lit::FALSE };
+            let shifted = if i + shift < cur.len() {
+                cur[i + shift]
+            } else {
+                Lit::FALSE
+            };
             next.push(g.mux(sel, shifted, cur[i]));
         }
         cur = next;
@@ -635,7 +642,11 @@ mod tests {
             assert_eq!(valid_got, x != 0, "valid for {x:#x}");
             if x != 0 {
                 let idx_got = from_bits(&out[..out.len() - 1]);
-                assert_eq!(idx_got, 63 - x.leading_zeros() as u64, "msb index of {x:#x}");
+                assert_eq!(
+                    idx_got,
+                    63 - x.leading_zeros() as u64,
+                    "msb index of {x:#x}"
+                );
             }
         }
     }

@@ -74,7 +74,10 @@ pub fn square(bits: usize) -> Aig {
 /// Panics if `inputs` is even or smaller than 3 (majority needs an odd
 /// count to be well defined).
 pub fn voter(inputs: usize) -> Aig {
-    assert!(inputs >= 3 && inputs % 2 == 1, "majority needs an odd input count >= 3");
+    assert!(
+        inputs >= 3 && inputs % 2 == 1,
+        "majority needs an odd input count >= 3"
+    );
     let mut g = Aig::new();
     let xs = pis(&mut g, inputs);
     let count = arith::popcount(&mut g, &xs);
@@ -171,7 +174,11 @@ mod tests {
         assert_eq!(g.pi_count(), 256);
         assert_eq!(g.po_count(), 129);
         // Ripple carry: depth grows linearly in width.
-        assert!(g.depth() >= 128, "depth {} too shallow for a 128-bit RCA", g.depth());
+        assert!(
+            g.depth() >= 128,
+            "depth {} too shallow for a 128-bit RCA",
+            g.depth()
+        );
     }
 
     #[test]
@@ -235,7 +242,11 @@ mod tests {
             ("log2", log2(16)),
             ("voter", voter(15)),
         ] {
-            assert!(g.and_count() > 20, "{name} suspiciously small: {}", g.and_count());
+            assert!(
+                g.and_count() > 20,
+                "{name} suspiciously small: {}",
+                g.and_count()
+            );
             assert!(g.depth() > 2, "{name} suspiciously shallow");
         }
     }

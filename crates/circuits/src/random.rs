@@ -25,7 +25,12 @@ pub struct RandomAigConfig {
 
 impl Default for RandomAigConfig {
     fn default() -> Self {
-        RandomAigConfig { num_pis: 8, num_gates: 64, num_pos: 4, xor_percent: 30 }
+        RandomAigConfig {
+            num_pis: 8,
+            num_gates: 64,
+            num_pos: 4,
+            xor_percent: 30,
+        }
     }
 }
 
@@ -74,7 +79,9 @@ mod tests {
         assert_eq!(g1.and_count(), g2.and_count());
         assert_eq!(g1.depth(), g2.depth());
         // Same function on a probe vector.
-        let inputs: Vec<u64> = (0..cfg.num_pis as u64).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+        let inputs: Vec<u64> = (0..cfg.num_pis as u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9))
+            .collect();
         assert_eq!(g1.eval64(&inputs), g2.eval64(&inputs));
     }
 
@@ -83,7 +90,9 @@ mod tests {
         let cfg = RandomAigConfig::default();
         let g1 = random_aig(1, &cfg);
         let g2 = random_aig(2, &cfg);
-        let inputs: Vec<u64> = (0..cfg.num_pis as u64).map(|i| i.wrapping_mul(0xABCDEF)).collect();
+        let inputs: Vec<u64> = (0..cfg.num_pis as u64)
+            .map(|i| i.wrapping_mul(0xABCDEF))
+            .collect();
         // Overwhelmingly likely to differ somewhere.
         assert!(
             g1.and_count() != g2.and_count() || g1.eval64(&inputs) != g2.eval64(&inputs),
@@ -93,7 +102,12 @@ mod tests {
 
     #[test]
     fn respects_config() {
-        let cfg = RandomAigConfig { num_pis: 5, num_gates: 30, num_pos: 3, xor_percent: 0 };
+        let cfg = RandomAigConfig {
+            num_pis: 5,
+            num_gates: 30,
+            num_pos: 3,
+            xor_percent: 0,
+        };
         let g = random_aig(3, &cfg);
         assert_eq!(g.pi_count(), 5);
         assert_eq!(g.po_count(), 3);

@@ -45,7 +45,10 @@ pub enum GateClass {
 /// Panics if `tt` has more than three variables (wider cells do not exist
 /// in the baseline library; the T1 cell is costed separately).
 pub fn classify(tt: TruthTable) -> Option<GateClass> {
-    assert!(tt.num_vars() <= 3, "baseline SFQ cells have at most 3 inputs");
+    assert!(
+        tt.num_vars() <= 3,
+        "baseline SFQ cells have at most 3 inputs"
+    );
     let support = tt.support_size();
     match support {
         0 => Some(GateClass::Constant),

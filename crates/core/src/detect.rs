@@ -36,7 +36,13 @@ pub struct DetectConfig {
 
 impl Default for DetectConfig {
     fn default() -> Self {
-        DetectConfig { cut: CutConfig { max_leaves: 3, max_cuts: 20 }, min_members: 2 }
+        DetectConfig {
+            cut: CutConfig {
+                max_leaves: 3,
+                max_cuts: 20,
+            },
+            min_members: 2,
+        }
     }
 }
 
@@ -130,10 +136,11 @@ pub fn detect_with_attribution(
                         // A node matches one port per (leaves, mask); guard
                         // against duplicate cuts of the same node.
                         if seen_masks.insert((leaves, mask)) {
-                            groups
-                                .entry((leaves, mask))
-                                .or_default()
-                                .push(T1Member { root: id, port, output_invert });
+                            groups.entry((leaves, mask)).or_default().push(T1Member {
+                                root: id,
+                                port,
+                                output_invert,
+                            });
                         }
                     }
                 }
@@ -153,15 +160,19 @@ pub fn detect_with_attribution(
         union: Vec<NodeId>,
         freed: i64,
     }
-    let mut bundles: HashMap<([NodeId; 3], Vec<NodeId>), Vec<(u8, Vec<T1Member>)>> =
-        HashMap::new();
+    // (leaf triple, root-set union) → mask variants with their members.
+    type BundleKey = ([NodeId; 3], Vec<NodeId>);
+    let mut bundles: HashMap<BundleKey, Vec<(u8, Vec<T1Member>)>> = HashMap::new();
     for ((leaves, mask), members) in groups {
         if members.len() < config.min_members {
             continue;
         }
         let mut roots: Vec<NodeId> = members.iter().map(|m| m.root).collect();
         roots.sort();
-        bundles.entry((leaves, roots)).or_default().push((mask, members));
+        bundles
+            .entry((leaves, roots))
+            .or_default()
+            .push((mask, members));
     }
     let mut cands: Vec<Candidate> = Vec::new();
     for ((leaves, roots), variants) in bundles {
@@ -172,7 +183,12 @@ pub fn detect_with_attribution(
             .iter()
             .map(|n| attribution.get(n).copied().unwrap_or(0) as i64)
             .sum();
-        cands.push(Candidate { leaves, variants, union, freed });
+        cands.push(Candidate {
+            leaves,
+            variants,
+            union,
+            freed,
+        });
     }
 
     // Greedy selection by descending optimistic gain; ties broken by leaf
@@ -219,8 +235,7 @@ pub fn detect_with_attribution(
         let own_roots: HashSet<NodeId> = group.members.iter().map(|m| m.root).collect();
         let ok = gain > 0
             && cand.union.iter().all(|n| {
-                !claimed.contains(n)
-                    && (!protected_leaves.contains(n) || own_roots.contains(n))
+                !claimed.contains(n) && (!protected_leaves.contains(n) || own_roots.contains(n))
             })
             && group
                 .leaves
@@ -237,7 +252,10 @@ pub fn detect_with_attribution(
         }
     }
 
-    DetectionResult { selection, candidates }
+    DetectionResult {
+        selection,
+        candidates,
+    }
 }
 
 /// Exact T1 selection: maximum-total-gain compatible subset of the
@@ -268,7 +286,9 @@ pub fn select_exact(
         .iter()
         .map(|g| {
             let roots: Vec<NodeId> = g.members.iter().map(|m| m.root).collect();
-            mffc.union_members_bounded(&roots, &g.leaves).into_iter().collect()
+            mffc.union_members_bounded(&roots, &g.leaves)
+                .into_iter()
+                .collect()
         })
         .collect();
     let roots: Vec<HashSet<NodeId>> = candidates
@@ -278,7 +298,9 @@ pub fn select_exact(
     let gains: Vec<i64> = candidates.iter().map(|g| g.gain).collect();
 
     let mut p = MilpProblem::new();
-    let xs: Vec<_> = (0..candidates.len()).map(|_| p.add_int_var(0.0, Some(1.0))).collect();
+    let xs: Vec<_> = (0..candidates.len())
+        .map(|_| p.add_int_var(0.0, Some(1.0)))
+        .collect();
     let mut obj = LinExpr::new();
     for (i, &x) in xs.iter().enumerate() {
         // Maximize total gain → minimize negated gain.
@@ -300,11 +322,7 @@ pub fn select_exact(
                 .iter()
                 .any(|l| unions[i].contains(l) && !roots[i].contains(l));
             if cones_overlap || leaf_conflict_ij || leaf_conflict_ji {
-                p.add_constraint(
-                    LinExpr::var(xs[i]) + LinExpr::var(xs[j]),
-                    Sense::Le,
-                    1.0,
-                );
+                p.add_constraint(LinExpr::var(xs[i]) + LinExpr::var(xs[j]), Sense::Le, 1.0);
             }
         }
     }
@@ -412,7 +430,11 @@ mod tests {
         // negation (either exactly !a or its complement-all dual)…
         assert_eq!(res.found(), 1);
         let cand = &res.candidates[0];
-        assert!(cand.input_neg == 0b001 || cand.input_neg == 0b110, "mask {:#05b}", cand.input_neg);
+        assert!(
+            cand.input_neg == 0b001 || cand.input_neg == 0b110,
+            "mask {:#05b}",
+            cand.input_neg
+        );
         // …but standalone it is rejected: the baseline MAJ3/XOR3 cells
         // absorb the input polarity for free (34 JJ) while the T1 needs a
         // real inverter for its pulse stream (29 + 9 JJ). Only chained

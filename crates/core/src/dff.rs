@@ -105,7 +105,10 @@ pub fn build_chain(source: i64, reqs: &[Requirement], n: i64) -> Chain {
     for r in reqs {
         match *r {
             Requirement::Exact(tau) => {
-                assert!(tau >= source, "exact delivery at {tau} before source {source}");
+                assert!(
+                    tau >= source,
+                    "exact delivery at {tau} before source {source}"
+                );
                 if tau > source {
                     members.insert(tau);
                 }
@@ -138,7 +141,11 @@ pub fn build_chain(source: i64, reqs: &[Requirement], n: i64) -> Chain {
         .collect();
     windows.sort_unstable();
     for &t in &windows {
-        let mut p = members.range(..=t - 1).next_back().copied().unwrap_or(source);
+        let mut p = members
+            .range(..=t - 1)
+            .next_back()
+            .copied()
+            .unwrap_or(source);
         while p < t - n {
             p += n;
             members.insert(p);
@@ -151,13 +158,20 @@ pub fn build_chain(source: i64, reqs: &[Requirement], n: i64) -> Chain {
         .map(|r| match *r {
             Requirement::Exact(tau) => tau,
             Requirement::Window(t) => {
-                let p = members.range(..=t - 1).next_back().copied().unwrap_or(source);
+                let p = members
+                    .range(..=t - 1)
+                    .next_back()
+                    .copied()
+                    .unwrap_or(source);
                 debug_assert!(p >= t - n, "window consumer unserved");
                 p
             }
         })
         .collect();
-    Chain { members: member_vec, taps }
+    Chain {
+        members: member_vec,
+        taps,
+    }
 }
 
 /// The DFF chain of one driver, with its consumers.
@@ -251,9 +265,18 @@ pub fn insert_dffs(mc: &MappedCircuit, sched: &Schedule) -> DffPlan {
         let chain = build_chain(source_stage, &rs, n);
         total_dffs += chain.dff_count() as u64;
         total_splitters += chain.splitter_count(source_stage);
-        drivers.push(DriverPlan { source: (cell, port), source_stage, chain, consumers });
+        drivers.push(DriverPlan {
+            source: (cell, port),
+            source_stage,
+            chain,
+            consumers,
+        });
     }
-    DffPlan { drivers, total_dffs, total_splitters }
+    DffPlan {
+        drivers,
+        total_dffs,
+        total_splitters,
+    }
 }
 
 #[cfg(test)]
@@ -288,7 +311,11 @@ mod tests {
         // Consumers at 3, 5, 9 under n = 1: one chain of 8 DFFs serves all.
         let c = build_chain(
             0,
-            &[Requirement::Window(3), Requirement::Window(5), Requirement::Window(9)],
+            &[
+                Requirement::Window(3),
+                Requirement::Window(5),
+                Requirement::Window(9),
+            ],
             1,
         );
         assert_eq!(c.dff_count(), 8);
@@ -307,7 +334,11 @@ mod tests {
     fn exact_requirements_are_members() {
         let c = build_chain(
             2,
-            &[Requirement::Exact(7), Requirement::Exact(6), Requirement::Exact(5)],
+            &[
+                Requirement::Exact(7),
+                Requirement::Exact(6),
+                Requirement::Exact(5),
+            ],
             4,
         );
         assert_eq!(c.members, vec![5, 6, 7]);

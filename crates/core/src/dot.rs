@@ -52,9 +52,7 @@ pub fn to_dot(res: &FlowResult) -> String {
                 let _ = writeln!(
                     out,
                     "  c{} [label=\"g{}\\nσ{stage} tt={}\" shape=box];",
-                    id.0,
-                    id.0,
-                    tt
+                    id.0, id.0, tt
                 );
                 let _ = fanins;
             }
@@ -118,7 +116,10 @@ mod tests {
         assert!(dot.starts_with("digraph sfq {"));
         assert!(dot.trim_end().ends_with('}'));
         assert!(dot.contains("fillcolor=gold"), "T1 cells highlighted");
-        assert!(dot.matches("shape=triangle color=blue").count() == 6, "6 inputs");
+        assert!(
+            dot.matches("shape=triangle color=blue").count() == 6,
+            "6 inputs"
+        );
         assert!(dot.contains("po0"), "outputs present");
     }
 
@@ -127,6 +128,9 @@ mod tests {
         let lib = CellLibrary::default();
         let res = run_flow(&epfl::adder(4), &lib, &FlowConfig::multiphase(4));
         let dot = to_dot(&res);
-        assert_eq!(dot.matches("label=\"DFF").count() as u64, res.plan.total_dffs);
+        assert_eq!(
+            dot.matches("label=\"DFF").count() as u64,
+            res.plan.total_dffs
+        );
     }
 }

@@ -144,7 +144,11 @@ mod tests {
             let res = run_flow(&aig, &lib, &cfg);
             let pc = to_pulse_circuit(&res.mapped, &res.schedule, &res.plan);
             let vectors: Vec<Vec<bool>> = (0..8u64)
-                .map(|k| (0..24).map(|i| (k.wrapping_mul(0x9E37) >> (i % 13)) & 1 == 1).collect())
+                .map(|k| {
+                    (0..24)
+                        .map(|i| (k.wrapping_mul(0x9E37) >> (i % 13)) & 1 == 1)
+                        .collect()
+                })
                 .collect();
             let outcome = pc.simulate(&vectors, 4).expect("valid");
             let report = report_from_sim(&model, res.stats.area, &outcome, 8, 20e9);

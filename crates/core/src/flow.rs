@@ -60,12 +60,19 @@ impl FlowConfig {
 
     /// The paper's multiphase baseline without T1 (4φ by default).
     pub fn multiphase(n: u32) -> Self {
-        FlowConfig { phases: n, ..Self::single_phase() }
+        FlowConfig {
+            phases: n,
+            ..Self::single_phase()
+        }
     }
 
     /// The proposed T1 flow under `n` phases (the paper evaluates n = 4).
     pub fn t1(n: u32) -> Self {
-        FlowConfig { phases: n, use_t1: true, ..Self::single_phase() }
+        FlowConfig {
+            phases: n,
+            use_t1: true,
+            ..Self::single_phase()
+        }
     }
 }
 
@@ -132,9 +139,8 @@ pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult
     };
     let plan = insert_dffs(&mc, &schedule);
     let cell_area = mc.cell_area(lib);
-    let area = cell_area
-        + plan.total_dffs * lib.dff as u64
-        + plan.total_splitters * lib.splitter as u64;
+    let area =
+        cell_area + plan.total_dffs * lib.dff as u64 + plan.total_splitters * lib.splitter as u64;
     let stats = FlowStats {
         t1_found,
         t1_used: map_result.t1_used,
@@ -145,7 +151,12 @@ pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult
         depth_cycles: schedule.depth_cycles(),
         gates: mc.gate_count(),
     };
-    FlowResult { mapped: mc, schedule, plan, stats }
+    FlowResult {
+        mapped: mc,
+        schedule,
+        plan,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +196,11 @@ mod tests {
     fn flows_preserve_function() {
         let lib = CellLibrary::default();
         let aig = adder(6);
-        for cfg in [FlowConfig::single_phase(), FlowConfig::multiphase(4), FlowConfig::t1(4)] {
+        for cfg in [
+            FlowConfig::single_phase(),
+            FlowConfig::multiphase(4),
+            FlowConfig::t1(4),
+        ] {
             let res = run_flow(&aig, &lib, &cfg);
             let mut state = 0x9E3779B97F4A7C15u64;
             for _ in 0..4 {

@@ -56,9 +56,9 @@ pub mod verilog;
 
 pub use cells::{CellLibrary, GateClass};
 pub use detect::{detect, select_exact, DetectConfig, DetectionResult};
+pub use dff::{build_chain, insert_dffs, Chain, Consumer, DffPlan, Requirement};
 pub use dot::to_dot;
 pub use energy::{EnergyModel, EnergyReport};
-pub use dff::{build_chain, insert_dffs, Chain, Consumer, DffPlan, Requirement};
 pub use flow::{run_flow, FlowConfig, FlowResult, FlowStats, PhaseEngine};
 pub use mapped::{CellId, Edge, MappedCell, MappedCircuit};
 pub use mapper::{map, MapResult, T1Group, T1Member, T1Selection};

@@ -48,12 +48,19 @@ pub struct Edge {
 impl Edge {
     /// Plain non-inverted edge from port 0.
     pub fn plain(cell: CellId) -> Self {
-        Edge { cell, port: 0, invert: false }
+        Edge {
+            cell,
+            port: 0,
+            invert: false,
+        }
     }
 
     /// The same edge with inversion toggled by `flip`.
     pub fn xor_invert(self, flip: bool) -> Self {
-        Edge { invert: self.invert ^ flip, ..self }
+        Edge {
+            invert: self.invert ^ flip,
+            ..self
+        }
     }
 }
 
@@ -98,7 +105,9 @@ impl MappedCircuit {
     /// Adds a primary input cell.
     pub fn add_input(&mut self) -> CellId {
         let id = CellId(self.cells.len() as u32);
-        self.cells.push(MappedCell::Input { index: self.num_inputs as u32 });
+        self.cells.push(MappedCell::Input {
+            index: self.num_inputs as u32,
+        });
         self.num_inputs += 1;
         id
     }
@@ -178,7 +187,10 @@ impl MappedCircuit {
 
     /// All cells in topological order.
     pub fn cells(&self) -> impl Iterator<Item = (CellId, &MappedCell)> {
-        self.cells.iter().enumerate().map(|(i, c)| (CellId(i as u32), c))
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
     }
 
     /// Number of cells.
@@ -212,12 +224,18 @@ impl MappedCircuit {
 
     /// Number of logic gates (excluding inputs/constants/T1).
     pub fn gate_count(&self) -> usize {
-        self.cells.iter().filter(|c| matches!(c, MappedCell::Gate { .. })).count()
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, MappedCell::Gate { .. }))
+            .count()
     }
 
     /// Number of T1 cells.
     pub fn t1_count(&self) -> usize {
-        self.cells.iter().filter(|c| matches!(c, MappedCell::T1 { .. })).count()
+        self.cells
+            .iter()
+            .filter(|c| matches!(c, MappedCell::T1 { .. }))
+            .count()
     }
 
     /// Total cell area in JJs (gates + T1 assemblies; no DFFs/splitters,
@@ -289,8 +307,14 @@ impl MappedCircuit {
     ///
     /// Panics if `inputs.len() != num_inputs()`.
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
-        let words: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
-        self.eval64(&words).into_iter().map(|w| w & 1 == 1).collect()
+        let words: Vec<u64> = inputs
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        self.eval64(&words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
     }
 }
 
@@ -333,9 +357,20 @@ mod tests {
         let b = m.add_input();
         let g = m.add_gate(
             and2(),
-            vec![Edge::plain(a), Edge { cell: b, port: 0, invert: true }],
+            vec![
+                Edge::plain(a),
+                Edge {
+                    cell: b,
+                    port: 0,
+                    invert: true,
+                },
+            ],
         );
-        m.add_po(Edge { cell: g, port: 0, invert: true });
+        m.add_po(Edge {
+            cell: g,
+            port: 0,
+            invert: true,
+        });
         // !(a & !b)
         assert_eq!(m.eval(&[true, false]), vec![false]);
         assert_eq!(m.eval(&[true, true]), vec![true]);
@@ -348,9 +383,21 @@ mod tests {
         let b = m.add_input();
         let c = m.add_input();
         let t1 = m.add_t1([Edge::plain(a), Edge::plain(b), Edge::plain(c)]);
-        m.add_po(Edge { cell: t1, port: T1_PORT_SUM, invert: false });
-        m.add_po(Edge { cell: t1, port: T1_PORT_CARRY, invert: false });
-        m.add_po(Edge { cell: t1, port: T1_PORT_OR, invert: false });
+        m.add_po(Edge {
+            cell: t1,
+            port: T1_PORT_SUM,
+            invert: false,
+        });
+        m.add_po(Edge {
+            cell: t1,
+            port: T1_PORT_CARRY,
+            invert: false,
+        });
+        m.add_po(Edge {
+            cell: t1,
+            port: T1_PORT_OR,
+            invert: false,
+        });
         for i in 0..8u32 {
             let bits = [i & 1 == 1, i >> 1 & 1 == 1, i >> 2 & 1 == 1];
             let out = m.eval(&bits);
@@ -369,7 +416,11 @@ mod tests {
         let b = m.add_input();
         let c = m.add_input();
         m.add_t1([
-            Edge { cell: a, port: 0, invert: true },
+            Edge {
+                cell: a,
+                port: 0,
+                invert: true,
+            },
             Edge::plain(b),
             Edge::plain(c),
         ]);
@@ -380,10 +431,7 @@ mod tests {
     fn forward_reference_rejected() {
         let mut m = MappedCircuit::new();
         let a = m.add_input();
-        m.add_gate(
-            and2(),
-            vec![Edge::plain(a), Edge::plain(CellId(99))],
-        );
+        m.add_gate(and2(), vec![Edge::plain(a), Edge::plain(CellId(99))]);
     }
 
     #[test]
@@ -396,7 +444,11 @@ mod tests {
         let g = m.add_gate(and2(), vec![Edge::plain(a), Edge::plain(b)]);
         let t1 = m.add_t1([Edge::plain(a), Edge::plain(b), Edge::plain(c)]);
         m.add_po(Edge::plain(g));
-        m.add_po(Edge { cell: t1, port: 0, invert: false });
+        m.add_po(Edge {
+            cell: t1,
+            port: 0,
+            invert: false,
+        });
         assert_eq!(m.cell_area(&lib), (lib.and2 + lib.t1_assembly()) as u64);
         assert_eq!(m.gate_count(), 1);
         assert_eq!(m.t1_count(), 1);
@@ -407,7 +459,11 @@ mod tests {
         let mut m = MappedCircuit::new();
         let k = m.add_const0();
         m.add_po(Edge::plain(k));
-        m.add_po(Edge { cell: k, port: 0, invert: true });
+        m.add_po(Edge {
+            cell: k,
+            port: 0,
+            invert: true,
+        });
         assert_eq!(m.eval(&[]), vec![false, true]);
     }
 }

@@ -69,7 +69,13 @@ pub struct MapResult {
 /// Panics if a selected T1 group references nodes outside `aig`.
 pub fn map(aig: &Aig, lib: &CellLibrary, t1: Option<&T1Selection>) -> MapResult {
     // 3-feasible cuts: the library has 1/2-input cells plus MAJ3/XOR3.
-    let cuts = enumerate_cuts(aig, &CutConfig { max_leaves: 3, max_cuts: 16 });
+    let cuts = enumerate_cuts(
+        aig,
+        &CutConfig {
+            max_leaves: 3,
+            max_cuts: 16,
+        },
+    );
     let best = choose_cuts(aig, lib, &cuts);
     Cover::new(aig, lib, &cuts, &best, t1).run()
 }
@@ -141,8 +147,9 @@ impl<'a> Cover<'a> {
             }
         }
         let mut out = MappedCircuit::new();
-        let input_edges: Vec<Edge> =
-            (0..aig.pi_count()).map(|_| Edge::plain(out.add_input())).collect();
+        let input_edges: Vec<Edge> = (0..aig.pi_count())
+            .map(|_| Edge::plain(out.add_input()))
+            .collect();
         let t1_cells = vec![None; groups.len()];
         Cover {
             aig,
@@ -166,7 +173,11 @@ impl<'a> Cover<'a> {
             self.out.add_po(edge);
         }
         let t1_used = self.t1_cells.iter().flatten().count();
-        MapResult { circuit: self.out, attribution: self.attribution, t1_used }
+        MapResult {
+            circuit: self.out,
+            attribution: self.attribution,
+            t1_used,
+        }
     }
 
     fn const_edge(&mut self) -> Edge {
@@ -188,7 +199,11 @@ impl<'a> Cover<'a> {
             NodeKind::And(..) => {
                 if let Some(&(gi, port, inv)) = self.t1_roots.get(&node) {
                     let cell = self.build_t1(gi);
-                    Edge { cell, port, invert: inv }
+                    Edge {
+                        cell,
+                        port,
+                        invert: inv,
+                    }
                 } else {
                     self.build_gate(node)
                 }
@@ -222,11 +237,19 @@ impl<'a> Cover<'a> {
             let flip = neg ^ e.invert;
             operands[k] = if flip {
                 // Pulse logic cannot invert on a wire: materialize a NOT.
-                let raw = Edge { cell: e.cell, port: e.port, invert: false };
+                let raw = Edge {
+                    cell: e.cell,
+                    port: e.port,
+                    invert: false,
+                };
                 let not_tt = !TruthTable::var(1, 0);
                 Edge::plain(self.out.add_gate(not_tt, vec![raw]))
             } else {
-                Edge { cell: e.cell, port: e.port, invert: false }
+                Edge {
+                    cell: e.cell,
+                    port: e.port,
+                    invert: false,
+                }
             };
         }
         let cell = self.out.add_t1(operands);
@@ -254,7 +277,11 @@ mod tests {
                     state
                 })
                 .collect();
-            assert_eq!(aig.eval64(&inputs), mc.eval64(&inputs), "functional mismatch");
+            assert_eq!(
+                aig.eval64(&inputs),
+                mc.eval64(&inputs),
+                "functional mismatch"
+            );
         }
     }
 
@@ -300,7 +327,11 @@ mod tests {
         let lib = CellLibrary::default();
         let res = map(&g, &lib, None);
         let total: u64 = res.attribution.values().map(|&c| c as u64).sum();
-        assert_eq!(total, res.circuit.cell_area(&lib), "attribution sums to cell area");
+        assert_eq!(
+            total,
+            res.circuit.cell_area(&lib),
+            "attribution sums to cell area"
+        );
     }
 
     #[test]
@@ -331,7 +362,11 @@ mod tests {
         let res = map(&g, &lib, Some(&sel));
         assert_eq!(res.t1_used, 1);
         assert_eq!(res.circuit.t1_count(), 1);
-        assert_eq!(res.circuit.gate_count(), 0, "whole FA collapses into the T1");
+        assert_eq!(
+            res.circuit.gate_count(),
+            0,
+            "whole FA collapses into the T1"
+        );
         check_equivalent(&g, &res.circuit, 8);
     }
 
@@ -352,7 +387,11 @@ mod tests {
                 leaves: [a.node(), b.node(), c.node()],
                 input_neg: 0b001,
                 members: vec![
-                    T1Member { root: s.node(), port: T1_PORT_SUM, output_invert: s.is_complement() },
+                    T1Member {
+                        root: s.node(),
+                        port: T1_PORT_SUM,
+                        output_invert: s.is_complement(),
+                    },
                     T1Member {
                         root: m.node(),
                         port: T1_PORT_CARRY,
@@ -364,7 +403,11 @@ mod tests {
         };
         let res = map(&g, &lib, Some(&sel));
         assert_eq!(res.circuit.t1_count(), 1);
-        assert_eq!(res.circuit.gate_count(), 1, "one NOT gate for the negated operand");
+        assert_eq!(
+            res.circuit.gate_count(),
+            1,
+            "one NOT gate for the negated operand"
+        );
         check_equivalent(&g, &res.circuit, 8);
     }
 

@@ -69,8 +69,7 @@ impl Schedule {
                     }
                 }
                 MappedCell::T1 { fanins } => {
-                    let offsets = self
-                        .t1_offsets[id.index()]
+                    let offsets = self.t1_offsets[id.index()]
                         .ok_or_else(|| format!("T1 {} lacks offsets", id.0))?;
                     for (k, e) in fanins.iter().enumerate() {
                         let o = offsets[k];
@@ -111,8 +110,11 @@ fn asap(mc: &MappedCircuit, n: u32) -> Schedule {
         match cell {
             MappedCell::Input { .. } | MappedCell::Const0 => {}
             MappedCell::Gate { fanins, .. } => {
-                let lo =
-                    fanins.iter().map(|e| stages[e.cell.index()]).max().unwrap_or(0);
+                let lo = fanins
+                    .iter()
+                    .map(|e| stages[e.cell.index()])
+                    .max()
+                    .unwrap_or(0);
                 stages[id.index()] = lo + 1;
             }
             MappedCell::T1 { fanins } => {
@@ -138,7 +140,12 @@ fn asap(mc: &MappedCircuit, n: u32) -> Schedule {
         .map(|e| stages[e.cell.index()])
         .max()
         .unwrap_or(0);
-    Schedule { n, stages, horizon, t1_offsets }
+    Schedule {
+        n,
+        stages,
+        horizon,
+        t1_offsets,
+    }
 }
 
 /// Chooses distinct delivery offsets (in `1..=n`) for a T1's three operands
@@ -233,12 +240,18 @@ pub fn assign_phases_with(
         match cell {
             MappedCell::Gate { fanins, .. } => {
                 for e in fanins {
-                    users.entry((e.cell, e.port)).or_default().push(Use::Gate(id));
+                    users
+                        .entry((e.cell, e.port))
+                        .or_default()
+                        .push(Use::Gate(id));
                 }
             }
             MappedCell::T1 { fanins } => {
                 for (slot, e) in fanins.iter().enumerate() {
-                    users.entry((e.cell, e.port)).or_default().push(Use::T1(id, slot));
+                    users
+                        .entry((e.cell, e.port))
+                        .or_default()
+                        .push(Use::T1(id, slot));
                 }
             }
             _ => {}
@@ -283,7 +296,12 @@ pub fn assign_phases_with(
             // Feasible range.
             let lo = match cell {
                 MappedCell::Gate { fanins, .. } => {
-                    fanins.iter().map(|e| sched.stages[e.cell.index()]).max().unwrap_or(0) + 1
+                    fanins
+                        .iter()
+                        .map(|e| sched.stages[e.cell.index()])
+                        .max()
+                        .unwrap_or(0)
+                        + 1
                 }
                 MappedCell::T1 { fanins } => {
                     let offsets = sched.t1_offsets[idx].expect("offsets");
@@ -331,8 +349,7 @@ pub fn assign_phases_with(
                             .map(|u| match u {
                                 Use::Gate(j) => Requirement::Window(sched.stages[j.index()]),
                                 Use::T1(t, slot) => {
-                                    let o =
-                                        sched.t1_offsets[t.index()].expect("offsets")[*slot];
+                                    let o = sched.t1_offsets[t.index()].expect("offsets")[*slot];
                                     Requirement::Exact(sched.stages[t.index()] - o)
                                 }
                                 Use::Po => Requirement::Window(sched.horizon + 1),
@@ -343,7 +360,9 @@ pub fn assign_phases_with(
                 }
                 // Fanin drivers: recompute with this cell's requirement at s.
                 for e in mc.fanins(id).iter() {
-                    let Some(us) = users.get(&(e.cell, e.port)) else { continue };
+                    let Some(us) = users.get(&(e.cell, e.port)) else {
+                        continue;
+                    };
                     if us.len() > max_fanout_for_eval {
                         continue;
                     }
@@ -463,7 +482,8 @@ pub fn assign_phases_exact(mc: &MappedCircuit, n: u32) -> Result<Schedule, MilpE
             MappedCell::Gate { fanins, .. } => {
                 for e in fanins {
                     // σ(j) − σ(i) >= 1
-                    let diff = LinExpr::var(sigma[id.index()]) - LinExpr::var(sigma[e.cell.index()]);
+                    let diff =
+                        LinExpr::var(sigma[id.index()]) - LinExpr::var(sigma[e.cell.index()]);
                     p.add_constraint(diff.clone(), Sense::Ge, 1.0);
                     // DFFs: n·d >= σ(j) − σ(i) − n.
                     add_edge_cost(&mut p, &mut objective, diff, nn);
@@ -474,7 +494,8 @@ pub fn assign_phases_exact(mc: &MappedCircuit, n: u32) -> Result<Schedule, MilpE
                 for (k, e) in fanins.iter().enumerate() {
                     let o = offsets[k] as f64;
                     // Delivery slot: σ(T1) − o >= σ(i).
-                    let diff = LinExpr::var(sigma[id.index()]) - LinExpr::var(sigma[e.cell.index()]);
+                    let diff =
+                        LinExpr::var(sigma[id.index()]) - LinExpr::var(sigma[e.cell.index()]);
                     p.add_constraint(diff.clone(), Sense::Ge, o);
                     // DFFs to reach the slot exactly: n·d >= σ(T1) − σ(i) − o.
                     add_edge_cost(&mut p, &mut objective, diff, o);
@@ -495,7 +516,12 @@ pub fn assign_phases_exact(mc: &MappedCircuit, n: u32) -> Result<Schedule, MilpE
     let sol = p.solve()?;
 
     let stages: Vec<i64> = (0..mc.len()).map(|i| sol.int_value(sigma[i])).collect();
-    let sched = Schedule { n, stages, horizon, t1_offsets: base.t1_offsets };
+    let sched = Schedule {
+        n,
+        stages,
+        horizon,
+        t1_offsets: base.t1_offsets,
+    };
     debug_assert_eq!(sched.validate(mc), Ok(()));
     Ok(sched)
 }
@@ -591,7 +617,11 @@ mod tests {
         let c = m.add_input();
         let g = m.add_gate(and2(), vec![Edge::plain(a), Edge::plain(b)]); // stage 1
         let t1 = m.add_t1([Edge::plain(g), Edge::plain(b), Edge::plain(c)]);
-        m.add_po(Edge { cell: t1, port: 0, invert: false });
+        m.add_po(Edge {
+            cell: t1,
+            port: 0,
+            invert: false,
+        });
         let s = assign_phases(&m, 4, 0);
         // Operands at stages 1, 0, 0 → sorted (0,0,1) with offsets (3,2,1)
         // → σ(T1) >= max(0+3, 0+2, 1+1) = 3... but offsets are assigned by
@@ -624,7 +654,10 @@ mod tests {
         let opt_s = assign_phases_with(&m, 1, 3, SearchObjective::SharedChains);
         let asap_d = insert_dffs(&m, &asap_s).total_dffs;
         let opt_d = insert_dffs(&m, &opt_s).total_dffs;
-        assert!(opt_d < asap_d, "local search must help: {opt_d} vs {asap_d}");
+        assert!(
+            opt_d < asap_d,
+            "local search must help: {opt_d} vs {asap_d}"
+        );
         opt_s.validate(&m).unwrap();
     }
 
@@ -660,7 +693,10 @@ mod tests {
             // the richer shared-chain count instead).
             let ho = edge_dff_objective(&mc, &h);
             let eo = edge_dff_objective(&mc, &e);
-            assert!(eo <= ho, "exact ({eo}) worse than heuristic ({ho}) on ILP objective, n={n}");
+            assert!(
+                eo <= ho,
+                "exact ({eo}) worse than heuristic ({ho}) on ILP objective, n={n}"
+            );
             e.validate(&mc).unwrap();
         }
     }

@@ -29,7 +29,12 @@ impl TableRow {
         let single = run_flow(aig, lib, &FlowConfig::single_phase()).stats;
         let multi = run_flow(aig, lib, &FlowConfig::multiphase(n)).stats;
         let t1 = run_flow(aig, lib, &FlowConfig::t1(n)).stats;
-        TableRow { name: name.to_string(), single, multi, t1 }
+        TableRow {
+            name: name.to_string(),
+            single,
+            multi,
+            t1,
+        }
     }
 
     /// `T1 / 1φ` DFF ratio.

@@ -60,7 +60,10 @@ pub fn to_pulse_circuit(mc: &MappedCircuit, sched: &Schedule, plan: &DffPlan) ->
                        source_stage: i64|
      -> OutRef {
         if tap_stage == source_stage {
-            OutRef { elem: cell_elem[driver.0.index()], port: driver.1 }
+            OutRef {
+                elem: cell_elem[driver.0.index()],
+                port: driver.1,
+            }
         } else {
             let elem = *chain_elems
                 .get(&(driver, tap_stage))
@@ -69,9 +72,11 @@ pub fn to_pulse_circuit(mc: &MappedCircuit, sched: &Schedule, plan: &DffPlan) ->
         }
     };
 
-    // consumer (cell, slot) → (driver, tap stage, source stage)
-    let mut taps: HashMap<(CellId, usize), ((CellId, u8), i64, i64)> = HashMap::new();
-    let mut po_taps: HashMap<usize, ((CellId, u8), i64, i64)> = HashMap::new();
+    // (driver output, tap stage, source stage) for one consumer slot.
+    type TapSource = ((CellId, u8), i64, i64);
+    // consumer (cell, slot) → where its pulse is tapped from
+    let mut taps: HashMap<(CellId, usize), TapSource> = HashMap::new();
+    let mut po_taps: HashMap<usize, TapSource> = HashMap::new();
     for d in &plan.drivers {
         for ((consumer, _req), &tap) in d.consumers.iter().zip(d.chain.taps.iter()) {
             match *consumer {
@@ -115,8 +120,7 @@ pub fn to_pulse_circuit(mc: &MappedCircuit, sched: &Schedule, plan: &DffPlan) ->
             MappedCell::T1 { fanins } => {
                 let mut wired = [Fanin::plain(ElementId(0)); 3];
                 for (slot, e) in fanins.iter().enumerate() {
-                    let &(driver, tap, src) =
-                        taps.get(&(id, slot)).expect("T1 input has a tap");
+                    let &(driver, tap, src) = taps.get(&(id, slot)).expect("T1 input has a tap");
                     debug_assert!(!e.invert, "T1 operands are positive by construction");
                     wired[slot] = Fanin {
                         source: resolve_tap(&cell_elem, &chain_elems, driver, tap, src),
@@ -130,9 +134,18 @@ pub fn to_pulse_circuit(mc: &MappedCircuit, sched: &Schedule, plan: &DffPlan) ->
         // Chains hanging off this cell's ports.
         for port in 0..mc.num_ports(id) as u8 {
             if let Some(d) = plans_by_source.get(&(id, port)) {
-                let mut prev = OutRef { elem: cell_elem[id.index()], port };
+                let mut prev = OutRef {
+                    elem: cell_elem[id.index()],
+                    port,
+                };
                 for &m in &d.chain.members {
-                    let elem = pc.add_dff(Fanin { source: prev, invert: false }, m as u32);
+                    let elem = pc.add_dff(
+                        Fanin {
+                            source: prev,
+                            invert: false,
+                        },
+                        m as u32,
+                    );
                     chain_elems.insert(((id, port), m), elem);
                     prev = OutRef { elem, port: 0 };
                 }
@@ -144,14 +157,29 @@ pub fn to_pulse_circuit(mc: &MappedCircuit, sched: &Schedule, plan: &DffPlan) ->
     for (index, e) in mc.pos().iter().enumerate() {
         if matches!(mc.cell(e.cell), MappedCell::Const0) {
             // Constant outputs need no balancing; capture right away.
-            let src = OutRef { elem: cell_elem[e.cell.index()], port: 0 };
-            pc.add_output(Fanin { source: src, invert: e.invert }, 1);
+            let src = OutRef {
+                elem: cell_elem[e.cell.index()],
+                port: 0,
+            };
+            pc.add_output(
+                Fanin {
+                    source: src,
+                    invert: e.invert,
+                },
+                1,
+            );
             continue;
         }
         let &(driver, tap, src) = po_taps.get(&index).expect("PO has a tap");
         let source = resolve_tap(&cell_elem, &chain_elems, driver, tap, src);
         let capture = (sched.horizon + 1).max(1) as u32;
-        pc.add_output(Fanin { source, invert: e.invert }, capture);
+        pc.add_output(
+            Fanin {
+                source,
+                invert: e.invert,
+            },
+            capture,
+        );
     }
 
     pc
@@ -212,7 +240,15 @@ mod tests {
     #[test]
     fn pulse_sim_matches_random_networks() {
         for seed in 0..5 {
-            let aig = random_aig(seed, &RandomAigConfig { num_pis: 6, num_gates: 40, num_pos: 3, xor_percent: 40 });
+            let aig = random_aig(
+                seed,
+                &RandomAigConfig {
+                    num_pis: 6,
+                    num_gates: 40,
+                    num_pos: 3,
+                    xor_percent: 40,
+                },
+            );
             check_flow_in_sim(&aig, &FlowConfig::multiphase(4), 4);
             check_flow_in_sim(&aig, &FlowConfig::t1(4), 4);
         }

@@ -124,7 +124,10 @@ impl Aig {
     /// Creates an empty AIG containing only the constant node.
     pub fn new() -> Self {
         Aig {
-            nodes: vec![Node { kind: NodeKind::Const0, fanout: 0 }],
+            nodes: vec![Node {
+                kind: NodeKind::Const0,
+                fanout: 0,
+            }],
             pis: Vec::new(),
             pos: Vec::new(),
             strash: HashMap::new(),
@@ -134,7 +137,10 @@ impl Aig {
     /// Adds a primary input and returns its positive literal.
     pub fn add_pi(&mut self) -> Lit {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind: NodeKind::Input(self.pis.len() as u32), fanout: 0 });
+        self.nodes.push(Node {
+            kind: NodeKind::Input(self.pis.len() as u32),
+            fanout: 0,
+        });
         self.pis.push(id);
         Lit::new(id, false)
     }
@@ -163,7 +169,10 @@ impl Aig {
             return Lit::new(id, false);
         }
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { kind: NodeKind::And(a, b), fanout: 0 });
+        self.nodes.push(Node {
+            kind: NodeKind::And(a, b),
+            fanout: 0,
+        });
         self.nodes[a.node().index()].fanout += 1;
         self.nodes[b.node().index()].fanout += 1;
         self.strash.insert((a, b), id);
@@ -310,7 +319,11 @@ impl Aig {
     ///
     /// Panics if `inputs.len() != pi_count()`.
     pub fn eval64(&self, inputs: &[u64]) -> Vec<u64> {
-        assert_eq!(inputs.len(), self.pis.len(), "one word per primary input required");
+        assert_eq!(
+            inputs.len(),
+            self.pis.len(),
+            "one word per primary input required"
+        );
         let mut val = vec![0u64; self.nodes.len()];
         for id in self.node_ids() {
             val[id.index()] = match self.nodes[id.index()].kind {
@@ -335,8 +348,14 @@ impl Aig {
     ///
     /// Panics if `inputs.len() != pi_count()`.
     pub fn eval(&self, inputs: &[bool]) -> Vec<bool> {
-        let words: Vec<u64> = inputs.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
-        self.eval64(&words).into_iter().map(|w| w & 1 == 1).collect()
+        let words: Vec<u64> = inputs
+            .iter()
+            .map(|&b| if b { u64::MAX } else { 0 })
+            .collect();
+        self.eval64(&words)
+            .into_iter()
+            .map(|w| w & 1 == 1)
+            .collect()
     }
 
     /// Reference counts equal to fanout; exposed for MFFC computation.

@@ -85,7 +85,9 @@ fn parse_header(line: &str, magic: &str) -> Result<Header, ParseAigerError> {
     let mut parts = line.split_whitespace();
     let tag = parts.next().unwrap_or("");
     if tag != magic {
-        return Err(ParseAigerError::BadHeader(format!("expected '{magic}', got '{tag}'")));
+        return Err(ParseAigerError::BadHeader(format!(
+            "expected '{magic}', got '{tag}'"
+        )));
     }
     let nums: Vec<u64> = parts
         .map(|p| p.parse::<u64>())
@@ -198,7 +200,9 @@ pub fn read_ascii(text: &str) -> Result<Aig, ParseAigerError> {
         }
         let (lhs, r0, r1) = (nums[0], nums[1], nums[2]);
         if lhs & 1 == 1 {
-            return Err(ParseAigerError::BadHeader(format!("and lhs {lhs} must be even")));
+            return Err(ParseAigerError::BadHeader(format!(
+                "and lhs {lhs} must be even"
+            )));
         }
         let a = vars.resolve(r0)?;
         let b = vars.resolve(r1)?;
@@ -351,17 +355,15 @@ pub fn write_binary(aig: &Aig) -> Vec<u8> {
     for po in aig.pos() {
         out.extend_from_slice(format!("{}\n", ext_lit(*po, &ext_of)).as_bytes());
     }
-    let push_delta = |out: &mut Vec<u8>, mut x: u64| {
-        loop {
-            let mut byte = (x & 0x7F) as u8;
-            x >>= 7;
-            if x != 0 {
-                byte |= 0x80;
-            }
-            out.push(byte);
-            if x == 0 {
-                break;
-            }
+    let push_delta = |out: &mut Vec<u8>, mut x: u64| loop {
+        let mut byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x != 0 {
+            byte |= 0x80;
+        }
+        out.push(byte);
+        if x == 0 {
+            break;
         }
     };
     for &node in &order {
@@ -487,20 +489,32 @@ mod tests {
     #[test]
     fn rejects_latches() {
         let text = "aag 3 1 1 1 1\n2\n4 2\n6\n6 2 4\n";
-        assert_eq!(read_ascii(text).unwrap_err(), ParseAigerError::LatchesUnsupported);
+        assert_eq!(
+            read_ascii(text).unwrap_err(),
+            ParseAigerError::LatchesUnsupported
+        );
     }
 
     #[test]
     fn rejects_bad_header() {
-        assert!(matches!(read_ascii("not aiger"), Err(ParseAigerError::BadHeader(_))));
-        assert!(matches!(read_ascii("aag 1 2 3"), Err(ParseAigerError::BadHeader(_))));
+        assert!(matches!(
+            read_ascii("not aiger"),
+            Err(ParseAigerError::BadHeader(_))
+        ));
+        assert!(matches!(
+            read_ascii("aag 1 2 3"),
+            Err(ParseAigerError::BadHeader(_))
+        ));
         assert!(matches!(read_ascii(""), Err(ParseAigerError::BadHeader(_))));
     }
 
     #[test]
     fn rejects_out_of_range_literal() {
         let text = "aag 1 1 0 1 0\n2\n99\n";
-        assert_eq!(read_ascii(text).unwrap_err(), ParseAigerError::LiteralOutOfRange(99));
+        assert_eq!(
+            read_ascii(text).unwrap_err(),
+            ParseAigerError::LiteralOutOfRange(99)
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl Cut {
     /// Returns `true` if every leaf of `self` is a leaf of `other`.
     fn dominates(&self, other: &Cut) -> bool {
         self.leaves.len() <= other.leaves.len()
-            && self.leaves.iter().all(|l| other.leaves.binary_search(l).is_ok())
+            && self
+                .leaves
+                .iter()
+                .all(|l| other.leaves.binary_search(l).is_ok())
     }
 }
 
@@ -73,7 +76,10 @@ impl Default for CutConfig {
     /// `max_leaves = 4`, `max_cuts = 25` — enough to discover all T1
     /// candidates in arithmetic networks while staying linear in practice.
     fn default() -> Self {
-        CutConfig { max_leaves: 4, max_cuts: 25 }
+        CutConfig {
+            max_leaves: 4,
+            max_cuts: 25,
+        }
     }
 }
 
@@ -147,16 +153,25 @@ fn merge_leaves(a: &[NodeId], b: &[NodeId], max: usize) -> Option<Vec<NodeId>> {
 ///
 /// Panics if `config.max_leaves > 6` or `config.max_cuts == 0`.
 pub fn enumerate_cuts(aig: &Aig, config: &CutConfig) -> CutSet {
-    assert!(config.max_leaves <= TruthTable::MAX_VARS, "cut width limited to 6");
+    assert!(
+        config.max_leaves <= TruthTable::MAX_VARS,
+        "cut width limited to 6"
+    );
     assert!(config.max_cuts > 0, "at least one cut per node required");
     let mut all: Vec<Vec<Cut>> = Vec::with_capacity(aig.len());
     for id in aig.node_ids() {
         let cuts = match aig.kind(id) {
             NodeKind::Const0 => {
-                vec![Cut { leaves: vec![], tt: TruthTable::zero(0) }]
+                vec![Cut {
+                    leaves: vec![],
+                    tt: TruthTable::zero(0),
+                }]
             }
             NodeKind::Input(_) => {
-                vec![Cut { leaves: vec![id], tt: TruthTable::var(1, 0) }]
+                vec![Cut {
+                    leaves: vec![id],
+                    tt: TruthTable::var(1, 0),
+                }]
             }
             NodeKind::And(fa, fb) => {
                 let mut merged: Vec<Cut> = Vec::new();
@@ -178,7 +193,10 @@ pub fn enumerate_cuts(aig: &Aig, config: &CutConfig) -> CutSet {
                             if fb.is_complement() {
                                 tb = !tb;
                             }
-                            merged.push(Cut { leaves, tt: ta & tb });
+                            merged.push(Cut {
+                                leaves,
+                                tt: ta & tb,
+                            });
                         }
                     }
                 }
@@ -186,7 +204,10 @@ pub fn enumerate_cuts(aig: &Aig, config: &CutConfig) -> CutSet {
                 let mut kept: Vec<Cut> = Vec::new();
                 merged.sort_by_key(|c| c.leaves.len());
                 for cut in merged {
-                    if kept.iter().any(|k| k.dominates(&cut) && k.leaves != cut.leaves) {
+                    if kept
+                        .iter()
+                        .any(|k| k.dominates(&cut) && k.leaves != cut.leaves)
+                    {
                         continue;
                     }
                     if kept.iter().any(|k| k.leaves == cut.leaves) {
@@ -200,7 +221,10 @@ pub fn enumerate_cuts(aig: &Aig, config: &CutConfig) -> CutSet {
                 // The trivial cut is always present (consumers build their
                 // direct fanin cuts from it); it rides on top of the limit
                 // so it can never be crowded out.
-                kept.push(Cut { leaves: vec![id], tt: TruthTable::var(1, 0) });
+                kept.push(Cut {
+                    leaves: vec![id],
+                    tt: TruthTable::var(1, 0),
+                });
                 kept
             }
         };
@@ -228,7 +252,10 @@ mod tests {
         let (g, x) = tiny_and();
         let cuts = enumerate_cuts(&g, &CutConfig::default());
         let set = cuts.cuts(x.node());
-        let two_leaf = set.iter().find(|c| c.leaves().len() == 2).expect("2-leaf cut");
+        let two_leaf = set
+            .iter()
+            .find(|c| c.leaves().len() == 2)
+            .expect("2-leaf cut");
         let expect = TruthTable::var(2, 0) & TruthTable::var(2, 1);
         assert_eq!(two_leaf.truth_table(), expect);
     }
@@ -237,10 +264,7 @@ mod tests {
     fn trivial_cut_present() {
         let (g, x) = tiny_and();
         let cuts = enumerate_cuts(&g, &CutConfig::default());
-        assert!(cuts
-            .cuts(x.node())
-            .iter()
-            .any(|c| c.leaves() == [x.node()]));
+        assert!(cuts.cuts(x.node()).iter().any(|c| c.leaves() == [x.node()]));
     }
 
     #[test]
@@ -256,7 +280,11 @@ mod tests {
         // function describes the positive node, so compare modulo polarity.
         let found = cuts.cuts(x.node()).iter().any(|cut| {
             cut.leaves().len() == 3 && {
-                let tt = if x.is_complement() { !cut.truth_table() } else { cut.truth_table() };
+                let tt = if x.is_complement() {
+                    !cut.truth_table()
+                } else {
+                    cut.truth_table()
+                };
                 tt == TruthTable::xor3()
             }
         });
@@ -274,7 +302,11 @@ mod tests {
         let cuts = enumerate_cuts(&g, &CutConfig::default());
         let found = cuts.cuts(m.node()).iter().any(|cut| {
             cut.leaves().len() == 3 && {
-                let tt = if m.is_complement() { !cut.truth_table() } else { cut.truth_table() };
+                let tt = if m.is_complement() {
+                    !cut.truth_table()
+                } else {
+                    cut.truth_table()
+                };
                 tt == TruthTable::maj3()
             }
         });
@@ -294,13 +326,16 @@ mod tests {
         // The root node computes !(or3) structurally (AND of complements);
         // its positive-literal function is the AND; with the PO complement it
         // is or3. Check that the 3-cut function matches !or3 on the node.
-        let found = cuts
-            .cuts(o.node())
-            .iter()
-            .any(|cut| cut.leaves().len() == 3 && {
-                let tt = if o.is_complement() { !cut.truth_table() } else { cut.truth_table() };
+        let found = cuts.cuts(o.node()).iter().any(|cut| {
+            cut.leaves().len() == 3 && {
+                let tt = if o.is_complement() {
+                    !cut.truth_table()
+                } else {
+                    cut.truth_table()
+                };
                 tt == TruthTable::or3()
-            });
+            }
+        });
         assert!(found, "or3 cut must be enumerated (modulo root polarity)");
     }
 
@@ -317,7 +352,13 @@ mod tests {
         let s2 = g.maj3(s1, c, d);
         let s3 = g.and(s2, a);
         g.add_po(s3);
-        let cuts = enumerate_cuts(&g, &CutConfig { max_leaves: 4, max_cuts: 50 });
+        let cuts = enumerate_cuts(
+            &g,
+            &CutConfig {
+                max_leaves: 4,
+                max_cuts: 50,
+            },
+        );
 
         for idx in 0..16u32 {
             let bits: Vec<bool> = (0..4).map(|i| idx >> i & 1 == 1).collect();
@@ -362,7 +403,10 @@ mod tests {
             acc = g.xor(acc, p);
         }
         g.add_po(acc);
-        let cfg = CutConfig { max_leaves: 4, max_cuts: 5 };
+        let cfg = CutConfig {
+            max_leaves: 4,
+            max_cuts: 5,
+        };
         let cuts = enumerate_cuts(&g, &cfg);
         for id in g.node_ids() {
             assert!(cuts.cuts(id).len() <= cfg.max_cuts + 1);

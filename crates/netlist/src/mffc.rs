@@ -39,7 +39,10 @@ pub struct Mffc<'a> {
 impl<'a> Mffc<'a> {
     /// Creates a calculator for `aig`.
     pub fn new(aig: &'a Aig) -> Self {
-        Mffc { aig, base_refs: aig.fanout_counts() }
+        Mffc {
+            aig,
+            base_refs: aig.fanout_counts(),
+        }
     }
 
     /// Number of AND nodes in the MFFC of `root`.

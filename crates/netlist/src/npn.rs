@@ -69,7 +69,10 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
 /// silently slow).
 pub fn npn_canonical(f: TruthTable) -> NpnCanon {
     let n = f.num_vars();
-    assert!(n <= 4, "exact NPN canonization supports at most 4 variables");
+    assert!(
+        n <= 4,
+        "exact NPN canonization supports at most 4 variables"
+    );
     let perms = permutations(n.max(1));
     let mut best: Option<NpnCanon> = None;
     for neg_mask in 0u8..(1 << n) {

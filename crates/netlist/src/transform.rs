@@ -59,12 +59,10 @@ pub fn cleanup(aig: &Aig) -> Aig {
     order.sort();
     for n in order {
         if let NodeKind::And(a, b) = aig.kind(n) {
-            let fa = map[&a.node()].with_complement(
-                map[&a.node()].is_complement() ^ a.is_complement(),
-            );
-            let fb = map[&b.node()].with_complement(
-                map[&b.node()].is_complement() ^ b.is_complement(),
-            );
+            let fa =
+                map[&a.node()].with_complement(map[&a.node()].is_complement() ^ a.is_complement());
+            let fb =
+                map[&b.node()].with_complement(map[&b.node()].is_complement() ^ b.is_complement());
             let lit = out.and(fa, fb);
             map.insert(n, lit);
         }

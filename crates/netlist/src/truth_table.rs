@@ -56,7 +56,10 @@ impl TruthTable {
     /// Panics if `num_vars > 6`.
     pub fn from_bits(num_vars: usize, bits: u64) -> Self {
         assert!(num_vars <= Self::MAX_VARS, "at most 6 variables supported");
-        let mut t = TruthTable { bits, num_vars: num_vars as u8 };
+        let mut t = TruthTable {
+            bits,
+            num_vars: num_vars as u8,
+        };
         t.normalize();
         t
     }
@@ -161,7 +164,10 @@ impl TruthTable {
         let m = VAR_MASK[var];
         let hi = self.bits & m;
         let shifted = hi >> (1usize << var);
-        TruthTable { bits: hi | shifted, num_vars: self.num_vars }
+        TruthTable {
+            bits: hi | shifted,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Negative cofactor with respect to variable `var`.
@@ -170,7 +176,10 @@ impl TruthTable {
         let m = !VAR_MASK[var];
         let lo = self.bits & m;
         let shifted = lo << (1usize << var);
-        TruthTable { bits: lo | shifted, num_vars: self.num_vars }
+        TruthTable {
+            bits: lo | shifted,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Returns `true` if the function actually depends on variable `var`.
@@ -200,7 +209,10 @@ impl TruthTable {
         let shift = 1usize << var;
         let m = VAR_MASK[var];
         let bits = ((self.bits & m) >> shift) | ((self.bits & !m) << shift);
-        TruthTable { bits, num_vars: self.num_vars }
+        TruthTable {
+            bits,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Swaps adjacent variables `var` and `var + 1`.
@@ -213,7 +225,10 @@ impl TruthTable {
         let m10 = !VAR_MASK[var] & VAR_MASK[var + 1];
         let keep = self.bits & !(m01 | m10);
         let bits = keep | ((self.bits & m01) << shift) | ((self.bits & m10) >> shift);
-        TruthTable { bits, num_vars: self.num_vars }
+        TruthTable {
+            bits,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Applies an arbitrary variable permutation.
@@ -224,7 +239,11 @@ impl TruthTable {
     ///
     /// Panics if `perm` is not a permutation of `0..num_vars`.
     pub fn permute(&self, perm: &[usize]) -> Self {
-        assert_eq!(perm.len(), self.num_vars as usize, "permutation length mismatch");
+        assert_eq!(
+            perm.len(),
+            self.num_vars as usize,
+            "permutation length mismatch"
+        );
         let mut seen = [false; Self::MAX_VARS];
         for &p in perm {
             assert!(p < perm.len() && !seen[p], "not a permutation");
@@ -271,7 +290,10 @@ impl TruthTable {
     /// Panics if `num_vars` is smaller than the current count or exceeds 6.
     pub fn extend_to(&self, num_vars: usize) -> Self {
         assert!(num_vars >= self.num_vars as usize && num_vars <= Self::MAX_VARS);
-        TruthTable { bits: self.bits, num_vars: num_vars as u8 }
+        TruthTable {
+            bits: self.bits,
+            num_vars: num_vars as u8,
+        }
     }
 
     /// Shrinks the function to its support, returning the compacted table and
@@ -299,7 +321,10 @@ impl TruthTable {
 impl Not for TruthTable {
     type Output = TruthTable;
     fn not(self) -> TruthTable {
-        TruthTable { bits: !self.bits, num_vars: self.num_vars }
+        TruthTable {
+            bits: !self.bits,
+            num_vars: self.num_vars,
+        }
     }
 }
 

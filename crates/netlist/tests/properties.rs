@@ -25,7 +25,11 @@ fn build_aig(script: &[u8], num_pis: usize) -> Aig {
             2 => (a, !b),
             _ => (!a, !b),
         };
-        let out = if chunk[2] & 0x10 != 0 { g.xor(a, b) } else { g.and(a, b) };
+        let out = if chunk[2] & 0x10 != 0 {
+            g.xor(a, b)
+        } else {
+            g.and(a, b)
+        };
         pool.push(out);
     }
     let out = *pool.last().expect("nonempty pool");

@@ -68,7 +68,10 @@ pub struct Fanin {
 impl Fanin {
     /// Plain (non-inverting) connection to port 0 of `elem`.
     pub fn plain(elem: ElementId) -> Self {
-        Fanin { source: OutRef { elem, port: 0 }, invert: false }
+        Fanin {
+            source: OutRef { elem, port: 0 },
+            invert: false,
+        }
     }
 }
 
@@ -79,13 +82,21 @@ enum Element {
     /// Constant driver (stage 0); emits every wave if `value`.
     Const { value: bool },
     /// Clocked combinational cell: function over captured fanin flags.
-    Gate { tt: TruthTable, fanins: Vec<Fanin>, stage: u32 },
+    Gate {
+        tt: TruthTable,
+        fanins: Vec<Fanin>,
+        stage: u32,
+    },
     /// Clocked D flip-flop (a path-balancing buffer).
     Dff { fanin: Fanin, stage: u32 },
     /// T1 cell: three data fanins merged into `T`, clock on `R`.
     T1 { fanins: [Fanin; 3], stage: u32 },
     /// Output capture latch.
-    Output { fanin: Fanin, index: usize, stage: u32 },
+    Output {
+        fanin: Fanin,
+        index: usize,
+        stage: u32,
+    },
 }
 
 impl Element {
@@ -139,7 +150,12 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::WindowViolation { consumer, producer, consumer_stage, producer_stage } => {
+            SimError::WindowViolation {
+                consumer,
+                producer,
+                consumer_stage,
+                producer_stage,
+            } => {
                 write!(
                     f,
                     "element {} (stage {}) cannot capture element {} (stage {})",
@@ -199,7 +215,9 @@ impl PulseCircuit {
     /// Adds a primary input (stage 0) and returns its element id.
     pub fn add_input(&mut self) -> ElementId {
         let id = ElementId(self.elements.len() as u32);
-        self.elements.push(Element::Input { index: self.num_inputs });
+        self.elements.push(Element::Input {
+            index: self.num_inputs,
+        });
         self.num_inputs += 1;
         id
     }
@@ -217,7 +235,11 @@ impl PulseCircuit {
     ///
     /// Panics if `tt.num_vars() != fanins.len()` or `stage == 0`.
     pub fn add_gate(&mut self, tt: TruthTable, fanins: Vec<Fanin>, stage: u32) -> ElementId {
-        assert_eq!(tt.num_vars(), fanins.len(), "function arity must match fanin count");
+        assert_eq!(
+            tt.num_vars(),
+            fanins.len(),
+            "function arity must match fanin count"
+        );
         assert!(stage > 0, "clocked elements start at stage 1");
         let id = ElementId(self.elements.len() as u32);
         self.elements.push(Element::Gate { tt, fanins, stage });
@@ -256,7 +278,11 @@ impl PulseCircuit {
     pub fn add_output(&mut self, fanin: Fanin, stage: u32) -> usize {
         assert!(stage > 0, "clocked elements start at stage 1");
         let index = self.num_outputs;
-        self.elements.push(Element::Output { fanin, index, stage });
+        self.elements.push(Element::Output {
+            fanin,
+            index,
+            stage,
+        });
         self.num_outputs += 1;
         index
     }
@@ -283,7 +309,10 @@ impl PulseCircuit {
 
     /// Number of DFF elements.
     pub fn dff_count(&self) -> usize {
-        self.elements.iter().filter(|e| matches!(e, Element::Dff { .. })).count()
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Dff { .. }))
+            .count()
     }
 
     /// Maximum stage over all elements.
@@ -298,7 +327,12 @@ impl PulseCircuit {
     /// Returns the first [`SimError`] found: capture-window violations,
     /// non-staggered T1 inputs, or `n < 3` in the presence of T1 cells.
     pub fn validate(&self, n: u32) -> Result<(), SimError> {
-        if n < 3 && self.elements.iter().any(|e| matches!(e, Element::T1 { .. })) {
+        if n < 3
+            && self
+                .elements
+                .iter()
+                .any(|e| matches!(e, Element::T1 { .. }))
+        {
             return Err(SimError::TooFewPhases);
         }
         for (i, e) in self.elements.iter().enumerate() {
@@ -320,8 +354,10 @@ impl PulseCircuit {
                 if n < 3 {
                     return Err(SimError::TooFewPhases);
                 }
-                let mut stages: Vec<u32> =
-                    fanins.iter().map(|f| self.elements[f.source.elem.index()].stage()).collect();
+                let mut stages: Vec<u32> = fanins
+                    .iter()
+                    .map(|f| self.elements[f.source.elem.index()].stage())
+                    .collect();
                 stages.sort_unstable();
                 stages.dedup();
                 if stages.len() != 3 {
@@ -390,15 +426,23 @@ impl PulseCircuit {
             (z % span) as i64 - opts.jitter_amplitude as i64
         };
         let mut trace: Vec<TraceEvent> = Vec::new();
-        let record = |trace: &mut Vec<TraceEvent>, time: u64, element: ElementId, kind: TraceKind| {
-            if watch.is_none_or(|w| w.contains(&element)) {
-                trace.push(TraceEvent { time, element, kind });
-            }
-        };
+        let record =
+            |trace: &mut Vec<TraceEvent>, time: u64, element: ElementId, kind: TraceKind| {
+                if watch.is_none_or(|w| w.contains(&element)) {
+                    trace.push(TraceEvent {
+                        time,
+                        element,
+                        kind,
+                    });
+                }
+            };
         self.validate(n)?;
         for v in vectors {
             if v.len() != self.num_inputs {
-                return Err(SimError::VectorWidth { expected: self.num_inputs, got: v.len() });
+                return Err(SimError::VectorWidth {
+                    expected: self.num_inputs,
+                    got: v.len(),
+                });
             }
         }
         let num_waves = vectors.len();
@@ -408,7 +452,11 @@ impl PulseCircuit {
             .elements
             .iter()
             .map(|e| {
-                let ports = if matches!(e, Element::T1 { .. }) { 3 } else { 1 };
+                let ports = if matches!(e, Element::T1 { .. }) {
+                    3
+                } else {
+                    1
+                };
                 vec![Vec::new(); ports]
             })
             .collect();
@@ -420,14 +468,15 @@ impl PulseCircuit {
         }
 
         // Per-element run state.
-        let mut flags: Vec<Vec<bool>> =
-            self.elements.iter().map(|e| vec![false; e.fanins().len()]).collect();
+        let mut flags: Vec<Vec<bool>> = self
+            .elements
+            .iter()
+            .map(|e| vec![false; e.fanins().len()])
+            .collect();
         let mut t1_state: Vec<Option<T1Cell>> = self
             .elements
             .iter()
-            .map(|e| {
-                matches!(e, Element::T1 { .. }).then(|| T1Cell::new(T1_MIN_SEPARATION))
-            })
+            .map(|e| matches!(e, Element::T1 { .. }).then(|| T1Cell::new(T1_MIN_SEPARATION)))
             .collect();
         let mut outputs = vec![vec![false; self.num_outputs]; num_waves];
         let mut pulses: u64 = 0;
@@ -529,9 +578,7 @@ impl PulseCircuit {
                             {
                                 if events.contains(&ev_kind) {
                                     record(&mut trace, time + EMIT_DELAY, id, TraceKind::Emit);
-                                    for &(consumer, slot) in
-                                        &fanouts[i][port as usize]
-                                    {
+                                    for &(consumer, slot) in &fanouts[i][port as usize] {
                                         pulses += 1;
                                         push(
                                             &mut queue,
@@ -559,7 +606,14 @@ impl PulseCircuit {
         }
 
         let hazards = t1_state.iter().flatten().map(T1Cell::hazards).sum();
-        Ok((SimOutcome { outputs, hazards, pulses }, trace))
+        Ok((
+            SimOutcome {
+                outputs,
+                hazards,
+                pulses,
+            },
+            trace,
+        ))
     }
 }
 
@@ -583,7 +637,10 @@ mod tests {
         let g = c.add_gate(tt_and2(), vec![Fanin::plain(a), Fanin::plain(b)], 1);
         c.add_output(Fanin::plain(g), 2);
         let out = c
-            .simulate(&[vec![true, true], vec![true, false], vec![false, false]], 1)
+            .simulate(
+                &[vec![true, true], vec![true, false], vec![false, false]],
+                1,
+            )
             .unwrap();
         assert_eq!(out.outputs, vec![vec![true], vec![false], vec![false]]);
     }
@@ -595,11 +652,19 @@ mod tests {
         let b = c.add_input();
         let g = c.add_gate(
             tt_and2(),
-            vec![Fanin::plain(a), Fanin { source: OutRef { elem: b, port: 0 }, invert: true }],
+            vec![
+                Fanin::plain(a),
+                Fanin {
+                    source: OutRef { elem: b, port: 0 },
+                    invert: true,
+                },
+            ],
             1,
         );
         c.add_output(Fanin::plain(g), 2);
-        let out = c.simulate(&[vec![true, false], vec![true, true]], 1).unwrap();
+        let out = c
+            .simulate(&[vec![true, false], vec![true, true]], 1)
+            .unwrap();
         assert_eq!(out.outputs, vec![vec![true], vec![false]]);
     }
 
@@ -610,7 +675,9 @@ mod tests {
         let d1 = c.add_dff(Fanin::plain(a), 1);
         let d2 = c.add_dff(Fanin::plain(d1), 2);
         c.add_output(Fanin::plain(d2), 3);
-        let out = c.simulate(&[vec![true], vec![false], vec![true]], 1).unwrap();
+        let out = c
+            .simulate(&[vec![true], vec![false], vec![true]], 1)
+            .unwrap();
         assert_eq!(out.outputs, vec![vec![true], vec![false], vec![true]]);
     }
 
@@ -641,11 +708,30 @@ mod tests {
         let db = c.add_dff(Fanin::plain(b), 2);
         let dc = c.add_dff(Fanin::plain(cin), 3);
         let t1 = c.add_t1([Fanin::plain(da), Fanin::plain(db), Fanin::plain(dc)], 4);
-        c.add_output(Fanin { source: OutRef { elem: t1, port: 0 }, invert: false }, 5);
-        c.add_output(Fanin { source: OutRef { elem: t1, port: 1 }, invert: false }, 5);
-        c.add_output(Fanin { source: OutRef { elem: t1, port: 2 }, invert: false }, 5);
-        let vectors: Vec<Vec<bool>> =
-            (0..8u32).map(|i| (0..3).map(|b| (i >> b) & 1 == 1).collect()).collect();
+        c.add_output(
+            Fanin {
+                source: OutRef { elem: t1, port: 0 },
+                invert: false,
+            },
+            5,
+        );
+        c.add_output(
+            Fanin {
+                source: OutRef { elem: t1, port: 1 },
+                invert: false,
+            },
+            5,
+        );
+        c.add_output(
+            Fanin {
+                source: OutRef { elem: t1, port: 2 },
+                invert: false,
+            },
+            5,
+        );
+        let vectors: Vec<Vec<bool>> = (0..8u32)
+            .map(|i| (0..3).map(|b| (i >> b) & 1 == 1).collect())
+            .collect();
         let out = c.simulate(&vectors, 4).unwrap();
         assert_eq!(out.hazards, 0, "staggered inputs must not overlap");
         for (i, got) in out.outputs.iter().enumerate() {
@@ -666,7 +752,13 @@ mod tests {
         let db = c.add_dff(Fanin::plain(b), 2); // same stage as da
         let dc = c.add_dff(Fanin::plain(cin), 3);
         let t1 = c.add_t1([Fanin::plain(da), Fanin::plain(db), Fanin::plain(dc)], 4);
-        c.add_output(Fanin { source: OutRef { elem: t1, port: 0 }, invert: false }, 5);
+        c.add_output(
+            Fanin {
+                source: OutRef { elem: t1, port: 0 },
+                invert: false,
+            },
+            5,
+        );
         assert_eq!(
             c.simulate(&[vec![false, false, false]], 4),
             Err(SimError::T1InputsNotStaggered(t1))
@@ -683,8 +775,17 @@ mod tests {
         let db = c.add_dff(Fanin::plain(b), 2);
         let dc = c.add_dff(Fanin::plain(cin), 3);
         let t1 = c.add_t1([Fanin::plain(da), Fanin::plain(db), Fanin::plain(dc)], 4);
-        c.add_output(Fanin { source: OutRef { elem: t1, port: 0 }, invert: false }, 5);
-        assert_eq!(c.simulate(&[vec![true, true, true]], 2), Err(SimError::TooFewPhases));
+        c.add_output(
+            Fanin {
+                source: OutRef { elem: t1, port: 0 },
+                invert: false,
+            },
+            5,
+        );
+        assert_eq!(
+            c.simulate(&[vec![true, true, true]], 2),
+            Err(SimError::TooFewPhases)
+        );
     }
 
     #[test]
@@ -695,8 +796,9 @@ mod tests {
         let b = c.add_input();
         let g = c.add_gate(tt_xor2(), vec![Fanin::plain(a), Fanin::plain(b)], 1);
         c.add_output(Fanin::plain(g), 2);
-        let vectors: Vec<Vec<bool>> =
-            (0..8u32).map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1]).collect();
+        let vectors: Vec<Vec<bool>> = (0..8u32)
+            .map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1])
+            .collect();
         let out = c.simulate(&vectors, 1).unwrap();
         for (i, got) in out.outputs.iter().enumerate() {
             let expect = ((i & 1) ^ ((i >> 1) & 1)) == 1;
@@ -722,7 +824,10 @@ mod tests {
         c.add_output(Fanin::plain(a), 1);
         assert_eq!(
             c.simulate(&[vec![true, false]], 1),
-            Err(SimError::VectorWidth { expected: 1, got: 2 })
+            Err(SimError::VectorWidth {
+                expected: 1,
+                got: 2
+            })
         );
     }
 
@@ -730,7 +835,13 @@ mod tests {
     fn inverted_output() {
         let mut c = PulseCircuit::new();
         let a = c.add_input();
-        c.add_output(Fanin { source: OutRef { elem: a, port: 0 }, invert: true }, 1);
+        c.add_output(
+            Fanin {
+                source: OutRef { elem: a, port: 0 },
+                invert: true,
+            },
+            1,
+        );
         let out = c.simulate(&[vec![true], vec![false]], 1).unwrap();
         assert_eq!(out.outputs, vec![vec![false], vec![true]]);
     }
@@ -750,18 +861,33 @@ mod jitter_tests {
         let db = c.add_dff(Fanin::plain(b), 2);
         let dc = c.add_dff(Fanin::plain(cin), 3);
         let t1 = c.add_t1([Fanin::plain(da), Fanin::plain(db), Fanin::plain(dc)], 4);
-        c.add_output(Fanin { source: OutRef { elem: t1, port: 0 }, invert: false }, 5);
+        c.add_output(
+            Fanin {
+                source: OutRef { elem: t1, port: 0 },
+                invert: false,
+            },
+            5,
+        );
         c
     }
 
     #[test]
     fn zero_jitter_matches_plain_simulation() {
         let c = t1_fa();
-        let vectors: Vec<Vec<bool>> =
-            (0..8u32).map(|i| (0..3).map(|k| (i >> k) & 1 == 1).collect()).collect();
+        let vectors: Vec<Vec<bool>> = (0..8u32)
+            .map(|i| (0..3).map(|k| (i >> k) & 1 == 1).collect())
+            .collect();
         let plain = c.simulate(&vectors, 4).unwrap();
         let (opt, _) = c
-            .simulate_opts(&vectors, 4, None, SimOptions { jitter_amplitude: 0, jitter_seed: 7 })
+            .simulate_opts(
+                &vectors,
+                4,
+                None,
+                SimOptions {
+                    jitter_amplitude: 0,
+                    jitter_seed: 7,
+                },
+            )
             .unwrap();
         assert_eq!(plain, opt);
     }
@@ -771,20 +897,28 @@ mod jitter_tests {
         // Stage separation is SLOT = 1000, hazard threshold 500:
         // ±100 of jitter keeps pulses separated and capture windows intact.
         let c = t1_fa();
-        let vectors: Vec<Vec<bool>> =
-            (0..8u32).map(|i| (0..3).map(|k| (i >> k) & 1 == 1).collect()).collect();
+        let vectors: Vec<Vec<bool>> = (0..8u32)
+            .map(|i| (0..3).map(|k| (i >> k) & 1 == 1).collect())
+            .collect();
         for seed in 0..5 {
             let (out, _) = c
                 .simulate_opts(
                     &vectors,
                     4,
                     None,
-                    SimOptions { jitter_amplitude: 100, jitter_seed: seed },
+                    SimOptions {
+                        jitter_amplitude: 100,
+                        jitter_seed: seed,
+                    },
                 )
                 .unwrap();
             assert_eq!(out.hazards, 0, "seed {seed}");
             for (i, o) in out.outputs.iter().enumerate() {
-                assert_eq!(o[0], (i as u32).count_ones() % 2 == 1, "seed {seed} wave {i}");
+                assert_eq!(
+                    o[0],
+                    (i as u32).count_ones() % 2 == 1,
+                    "seed {seed} wave {i}"
+                );
             }
         }
     }
@@ -802,19 +936,28 @@ mod jitter_tests {
                     &vectors,
                     4,
                     None,
-                    SimOptions { jitter_amplitude: 700, jitter_seed: seed },
+                    SimOptions {
+                        jitter_amplitude: 700,
+                        jitter_seed: seed,
+                    },
                 )
                 .unwrap();
             total_hazards += out.hazards;
         }
-        assert!(total_hazards > 0, "700-unit jitter must eventually overlap pulses");
+        assert!(
+            total_hazards > 0,
+            "700-unit jitter must eventually overlap pulses"
+        );
     }
 
     #[test]
     fn jitter_is_deterministic_in_seed() {
         let c = t1_fa();
         let vectors: Vec<Vec<bool>> = (0..4).map(|_| vec![true, false, true]).collect();
-        let opts = SimOptions { jitter_amplitude: 300, jitter_seed: 42 };
+        let opts = SimOptions {
+            jitter_amplitude: 300,
+            jitter_seed: 42,
+        };
         let (a, _) = c.simulate_opts(&vectors, 4, None, opts).unwrap();
         let (b, _) = c.simulate_opts(&vectors, 4, None, opts).unwrap();
         assert_eq!(a, b);

@@ -74,7 +74,11 @@ pub fn render_waveform(
                 TraceKind::Clock => b'|',
                 TraceKind::Emit => b'*',
             };
-            lane[slot] = if lane[slot] == b' ' || lane[slot] == mark { mark } else { b'#' };
+            lane[slot] = if lane[slot] == b' ' || lane[slot] == mark {
+                mark
+            } else {
+                b'#'
+            };
         }
         let _ = writeln!(
             out,
@@ -94,9 +98,21 @@ mod tests {
     #[test]
     fn renders_marks_in_correct_slots() {
         let events = vec![
-            TraceEvent { time: 0, element: ElementId(0), kind: TraceKind::Clock },
-            TraceEvent { time: 60, element: ElementId(0), kind: TraceKind::Emit },
-            TraceEvent { time: 3 * SLOT, element: ElementId(1), kind: TraceKind::Clock },
+            TraceEvent {
+                time: 0,
+                element: ElementId(0),
+                kind: TraceKind::Clock,
+            },
+            TraceEvent {
+                time: 60,
+                element: ElementId(0),
+                kind: TraceKind::Emit,
+            },
+            TraceEvent {
+                time: 3 * SLOT,
+                element: ElementId(1),
+                kind: TraceKind::Clock,
+            },
         ];
         let text = render_waveform(&events, &[(ElementId(0), "in"), (ElementId(1), "t1")], 8);
         let lines: Vec<&str> = text.lines().collect();

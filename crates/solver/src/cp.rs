@@ -139,7 +139,10 @@ impl CpSolution {
 impl CpModel {
     /// Creates an empty model.
     pub fn new() -> Self {
-        CpModel { node_limit: 1_000_000, ..Default::default() }
+        CpModel {
+            node_limit: 1_000_000,
+            ..Default::default()
+        }
     }
 
     /// Adds a variable with inclusive domain `[lo, hi]`.
@@ -149,13 +152,18 @@ impl CpModel {
     /// Panics if `lo > hi`.
     pub fn add_var(&mut self, lo: i64, hi: i64) -> CpVar {
         assert!(lo <= hi, "empty initial domain");
-        self.domains.push(Domain { lo, hi, holes: Vec::new() });
+        self.domains.push(Domain {
+            lo,
+            hi,
+            holes: Vec::new(),
+        });
         CpVar(self.domains.len() - 1)
     }
 
     /// Posts `Σ coeff·var <= bound`.
     pub fn linear_le(&mut self, terms: &[(i64, CpVar)], bound: i64) {
-        self.constraints.push(CpConstraint::LinearLe(terms.to_vec(), bound));
+        self.constraints
+            .push(CpConstraint::LinearLe(terms.to_vec(), bound));
     }
 
     /// Posts `Σ coeff·var >= bound`.
@@ -177,7 +185,8 @@ impl CpModel {
 
     /// Posts pairwise difference over `vars` (eq. 5 of the paper).
     pub fn all_different(&mut self, vars: &[CpVar]) {
-        self.constraints.push(CpConstraint::AllDifferent(vars.to_vec()));
+        self.constraints
+            .push(CpConstraint::AllDifferent(vars.to_vec()));
     }
 
     /// Sets a linear minimization objective.
@@ -471,7 +480,9 @@ mod tests {
         let mut m = CpModel::new();
         let n = 4i64;
         let sigma_t1 = 10i64;
-        let d: Vec<_> = (0..3).map(|_| m.add_var(sigma_t1 - n, sigma_t1 - 1)).collect();
+        let d: Vec<_> = (0..3)
+            .map(|_| m.add_var(sigma_t1 - n, sigma_t1 - 1))
+            .collect();
         m.all_different(&d);
         let s = m.solve().unwrap();
         let mut vals: Vec<i64> = d.iter().map(|&v| s[v]).collect();
@@ -487,7 +498,9 @@ mod tests {
         let mut m = CpModel::new();
         let n = 2i64;
         let sigma_t1 = 10i64;
-        let d: Vec<_> = (0..3).map(|_| m.add_var(sigma_t1 - n, sigma_t1 - 1)).collect();
+        let d: Vec<_> = (0..3)
+            .map(|_| m.add_var(sigma_t1 - n, sigma_t1 - 1))
+            .collect();
         m.all_different(&d);
         assert!(m.solve().is_none());
     }

@@ -30,7 +30,10 @@ pub struct DifferenceSystem {
 impl DifferenceSystem {
     /// Creates a system over `num_vars` variables.
     pub fn new(num_vars: usize) -> Self {
-        DifferenceSystem { num_vars, edges: Vec::new() }
+        DifferenceSystem {
+            num_vars,
+            edges: Vec::new(),
+        }
     }
 
     /// Adds the constraint `x_to >= x_from + weight`.
@@ -39,7 +42,10 @@ impl DifferenceSystem {
     ///
     /// Panics if either index is out of range.
     pub fn add(&mut self, from: usize, to: usize, weight: i64) {
-        assert!(from < self.num_vars && to < self.num_vars, "variable out of range");
+        assert!(
+            from < self.num_vars && to < self.num_vars,
+            "variable out of range"
+        );
         self.edges.push((from, to, weight));
     }
 
@@ -188,7 +194,9 @@ mod tests {
     fn bellman_ford_matches_dag_on_random_dags() {
         let mut seed = 42u64;
         let mut next = move |m: u64| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) % m
         };
         for _ in 0..20 {
@@ -226,7 +234,12 @@ mod tests {
         let asap = s.solve_min_dag().unwrap();
         let alap = s.solve_max_dag(10).unwrap();
         for i in 0..5 {
-            assert!(asap[i] <= alap[i], "var {i}: asap {} > alap {}", asap[i], alap[i]);
+            assert!(
+                asap[i] <= alap[i],
+                "var {i}: asap {} > alap {}",
+                asap[i],
+                alap[i]
+            );
         }
     }
 

@@ -75,10 +75,7 @@ impl LinExpr {
 
     /// Evaluates the expression on an assignment indexed by `VarId`.
     pub fn eval(&self, assignment: &[f64]) -> f64 {
-        self.terms
-            .iter()
-            .map(|(&v, &c)| c * assignment[v.0])
-            .sum()
+        self.terms.iter().map(|(&v, &c)| c * assignment[v.0]).sum()
     }
 }
 

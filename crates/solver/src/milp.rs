@@ -87,7 +87,10 @@ impl std::error::Error for MilpError {}
 impl MilpProblem {
     /// Creates an empty model.
     pub fn new() -> Self {
-        MilpProblem { node_limit: 200_000, ..Default::default() }
+        MilpProblem {
+            node_limit: 200_000,
+            ..Default::default()
+        }
     }
 
     /// Adds a continuous variable with lower bound `lb` (≥ 0) and optional
@@ -148,7 +151,11 @@ impl MilpProblem {
         let mut base = self.constraints.clone();
         for i in 0..self.num_vars {
             if self.lower[i] > 0.0 {
-                base.push(Constraint::new(LinExpr::var(VarId(i)), Sense::Ge, self.lower[i]));
+                base.push(Constraint::new(
+                    LinExpr::var(VarId(i)),
+                    Sense::Ge,
+                    self.lower[i],
+                ));
             }
             if let Some(u) = self.upper[i] {
                 base.push(Constraint::new(LinExpr::var(VarId(i)), Sense::Le, u));
@@ -202,9 +209,9 @@ impl MilpProblem {
                 None => {
                     // Integral (round off numerical fuzz on integer vars).
                     let mut values = sol.values.clone();
-                    for i in 0..self.num_vars {
-                        if self.integer[i] {
-                            values[i] = values[i].round();
+                    for (v, &is_int) in values.iter_mut().zip(&self.integer) {
+                        if is_int {
+                            *v = v.round();
                         }
                     }
                     let objective = self.objective.eval(&values);
@@ -220,7 +227,11 @@ impl MilpProblem {
                     let mut lo = extra.clone();
                     lo.push(Constraint::new(LinExpr::var(VarId(i)), Sense::Le, floor));
                     let mut hi = extra.clone();
-                    hi.push(Constraint::new(LinExpr::var(VarId(i)), Sense::Ge, floor + 1.0));
+                    hi.push(Constraint::new(
+                        LinExpr::var(VarId(i)),
+                        Sense::Ge,
+                        floor + 1.0,
+                    ));
                     if v - floor > 0.5 {
                         stack.push(lo);
                         stack.push(hi);
@@ -278,7 +289,11 @@ mod tests {
         );
         p.set_objective(LinExpr::var(a) * -10.0 + LinExpr::var(b) * -6.0 + LinExpr::var(c) * -4.0);
         let s = p.solve().unwrap();
-        assert!((s.objective + 14.0).abs() < 1e-5, "objective {}", s.objective);
+        assert!(
+            (s.objective + 14.0).abs() < 1e-5,
+            "objective {}",
+            s.objective
+        );
         assert_eq!(s.int_value(a), 1);
         assert_eq!(s.int_value(c), 1);
     }

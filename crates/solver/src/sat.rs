@@ -75,7 +75,12 @@ impl std::ops::Not for SatLit {
 
 impl fmt::Debug for SatLit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{}", if self.is_neg() { "¬" } else { "" }, self.var().0)
+        write!(
+            f,
+            "{}{}",
+            if self.is_neg() { "¬" } else { "" },
+            self.var().0
+        )
     }
 }
 
@@ -126,7 +131,11 @@ pub struct SatSolver {
 impl SatSolver {
     /// Creates an empty solver.
     pub fn new() -> Self {
-        SatSolver { act_inc: 1.0, ok: true, ..Default::default() }
+        SatSolver {
+            act_inc: 1.0,
+            ok: true,
+            ..Default::default()
+        }
     }
 
     /// Allocates a fresh variable.
@@ -411,12 +420,7 @@ impl SatSolver {
                 match self.pick_branch() {
                     None => {
                         // Full assignment: extract model.
-                        return Some(
-                            self.assign
-                                .iter()
-                                .map(|&v| v == Value::True)
-                                .collect(),
-                        );
+                        return Some(self.assign.iter().map(|&v| v == Value::True).collect());
                     }
                     Some(l) => {
                         self.decisions += 1;
@@ -511,18 +515,18 @@ mod tests {
         // PHP(3,2): 3 pigeons, 2 holes. x[p][h] = pigeon p in hole h.
         let mut s = SatSolver::new();
         let mut x = [[SatVar(0); 2]; 3];
-        for p in 0..3 {
-            for h in 0..2 {
-                x[p][h] = s.new_var();
+        for row in x.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
             }
         }
-        for p in 0..3 {
-            s.add_clause([SatLit::pos(x[p][0]), SatLit::pos(x[p][1])]);
+        for row in &x {
+            s.add_clause([SatLit::pos(row[0]), SatLit::pos(row[1])]);
         }
-        for h in 0..2 {
-            for p1 in 0..3 {
-                for p2 in p1 + 1..3 {
-                    s.add_clause([SatLit::neg(x[p1][h]), SatLit::neg(x[p2][h])]);
+        for (p1, row1) in x.iter().enumerate() {
+            for row2 in &x[p1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause([SatLit::neg(a), SatLit::neg(b)]);
                 }
             }
         }
@@ -534,18 +538,18 @@ mod tests {
         let n = 4;
         let mut s = SatSolver::new();
         let mut x = vec![vec![SatVar(0); n]; n];
-        for p in 0..n {
-            for h in 0..n {
-                x[p][h] = s.new_var();
+        for row in x.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
             }
         }
-        for p in 0..n {
-            s.add_clause((0..n).map(|h| SatLit::pos(x[p][h])));
+        for row in &x {
+            s.add_clause(row.iter().map(|&v| SatLit::pos(v)));
         }
-        for h in 0..n {
-            for p1 in 0..n {
-                for p2 in p1 + 1..n {
-                    s.add_clause([SatLit::neg(x[p1][h]), SatLit::neg(x[p2][h])]);
+        for (p1, row1) in x.iter().enumerate() {
+            for row2 in &x[p1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause([SatLit::neg(a), SatLit::neg(b)]);
                 }
             }
         }
@@ -566,7 +570,9 @@ mod tests {
         // random small formulas.
         let mut seed = 0xdeadbeefu64;
         let mut next = move |m: u64| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) % m
         };
         for trial in 0..60 {
@@ -604,7 +610,11 @@ mod tests {
                 }));
             }
             let res = s.solve();
-            assert_eq!(res.is_some(), any, "trial {trial} disagrees with brute force");
+            assert_eq!(
+                res.is_some(),
+                any,
+                "trial {trial} disagrees with brute force"
+            );
             if let Some(model) = res {
                 for cl in &clauses {
                     assert!(

@@ -173,8 +173,8 @@ impl Tableau {
             // Drive any artificial still in the basis out (degenerate rows).
             for row in 0..self.num_rows {
                 if self.basis[row] >= self.artificial_start {
-                    let pivot_col = (0..self.artificial_start)
-                        .find(|&j| self.a[row][j].abs() > EPS);
+                    let pivot_col =
+                        (0..self.artificial_start).find(|&j| self.a[row][j].abs() > EPS);
                     match pivot_col {
                         Some(j) => self.pivot(row, j),
                         None => {
@@ -198,7 +198,10 @@ impl Tableau {
                         values[b] = self.a[row][self.num_cols];
                     }
                 }
-                LpOutcome::Optimal(LpSolution { objective: value, values })
+                LpOutcome::Optimal(LpSolution {
+                    objective: value,
+                    values,
+                })
             }
             SimplexEnd::Unbounded => LpOutcome::Unbounded,
         }
@@ -220,13 +223,13 @@ impl Tableau {
             // c_j - sum over rows of c_{basis[row]} * a[row][j].
             let basics_cost: Vec<f64> = self.basis.iter().map(|&b| cost[b]).collect();
             let mut entering = None;
-            for j in 0..limit_cols {
+            for (j, &cj) in cost.iter().enumerate().take(limit_cols) {
                 if self.basis.contains(&j) {
                     continue;
                 }
-                let mut red = cost[j];
-                for row in 0..self.num_rows {
-                    red -= basics_cost[row] * self.a[row][j];
+                let mut red = cj;
+                for (bc, arow) in basics_cost.iter().zip(&self.a) {
+                    red -= bc * arow[j];
                 }
                 if red < -EPS {
                     // Bland's rule: first improving column (prevents cycling).
@@ -237,8 +240,8 @@ impl Tableau {
             let Some(j) = entering else {
                 // Optimal: compute objective over basics.
                 let mut value = 0.0;
-                for row in 0..self.num_rows {
-                    value += basics_cost[row] * self.a[row][self.num_cols];
+                for (bc, arow) in basics_cost.iter().zip(&self.a) {
+                    value += bc * arow[self.num_cols];
                 }
                 return SimplexEnd::Optimal(value);
             };
@@ -322,7 +325,11 @@ mod tests {
         ];
         let obj = var(0) * -3.0 + var(1) * -2.0;
         let s = optimal(2, &cons, &obj);
-        assert!((s.objective + 12.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective + 12.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
         assert!((s.values[0] - 4.0).abs() < 1e-6);
     }
 
@@ -391,7 +398,11 @@ mod tests {
         let obj = var(2) * 2.0 - var(0) - var(1);
         let s = optimal(3, &cons, &obj);
         // Optimal: s0=0 s1=1 s2=2 → (2-0)+(2-1)=3.
-        assert!((s.objective - 3.0).abs() < 1e-6, "objective {}", s.objective);
+        assert!(
+            (s.objective - 3.0).abs() < 1e-6,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]
@@ -411,7 +422,9 @@ mod tests {
         // brute-force over a fine grid (coarse check of optimality).
         let mut seed = 0x12345678u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) % 7) as f64 - 3.0
         };
         for trial in 0..30 {

@@ -26,7 +26,10 @@ fn main() {
     let multi = run_flow(&aig, &lib, &FlowConfig::multiphase(4));
     let t1 = run_flow(&aig, &lib, &FlowConfig::t1(4));
 
-    println!("{:<18} {:>9} {:>9} {:>9}", "", "1-phase", "4-phase", "4-phase+T1");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9}",
+        "", "1-phase", "4-phase", "4-phase+T1"
+    );
     println!(
         "{:<18} {:>9} {:>9} {:>9}",
         "T1 found/used",
@@ -44,7 +47,10 @@ fn main() {
     );
     println!(
         "{:<18} {:>9} {:>9} {:>9}",
-        "depth [cycles]", single.stats.depth_cycles, multi.stats.depth_cycles, t1.stats.depth_cycles
+        "depth [cycles]",
+        single.stats.depth_cycles,
+        multi.stats.depth_cycles,
+        t1.stats.depth_cycles
     );
 
     let area_gain = 1.0 - t1.stats.area as f64 / multi.stats.area as f64;

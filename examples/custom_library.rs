@@ -27,19 +27,25 @@ fn main() {
 
     // An expensive-DFF process (e.g. larger storage loops): path balancing
     // dominates, and the T1's DFF savings matter more.
-    let mut dff_heavy = CellLibrary::default();
-    dff_heavy.dff = 12;
+    let dff_heavy = CellLibrary {
+        dff: 12,
+        ..CellLibrary::default()
+    };
     run_one("expensive DFFs (12 JJ)", &aig, &dff_heavy);
 
     // A cheap-DFF process compresses the T1 advantage.
-    let mut dff_light = CellLibrary::default();
-    dff_light.dff = 3;
+    let dff_light = CellLibrary {
+        dff: 3,
+        ..CellLibrary::default()
+    };
     run_one("cheap DFFs (3 JJ)", &aig, &dff_light);
 
     // A bulky T1 cell (conservative margins on the counter loop) can lose:
     // the flow then simply selects fewer T1 groups.
-    let mut t1_heavy = CellLibrary::default();
-    t1_heavy.t1_core = 45;
+    let t1_heavy = CellLibrary {
+        t1_core: 45,
+        ..CellLibrary::default()
+    };
     run_one("bulky T1 core (45 JJ)", &aig, &t1_heavy);
 
     // Bigger baseline majority cells favour the T1.

@@ -64,7 +64,10 @@ fn main() {
         .collect();
     let out = pc.simulate(&vectors, 4).expect("valid schedule");
     assert_eq!(out.hazards, 0);
-    println!("wave-pipelined verification ({} waves, 0 hazards):", pairs.len());
+    println!(
+        "wave-pipelined verification ({} waves, 0 hazards):",
+        pairs.len()
+    );
     for (k, &(a, b)) in pairs.iter().enumerate() {
         let p: u64 = out.outputs[k]
             .iter()

@@ -39,7 +39,10 @@ fn main() {
         })
         .collect();
 
-    println!("16-bit adder @ {:.0} GHz, {waves} random waves\n", clock_hz / 1e9);
+    println!(
+        "16-bit adder @ {:.0} GHz, {waves} random waves\n",
+        clock_hz / 1e9
+    );
     println!(
         "{:<18} {:>8} {:>12} {:>12} {:>12} {:>12}",
         "flow", "JJs", "pulses/wave", "dynamic [W]", "static [W]", "total [W]"

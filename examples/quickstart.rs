@@ -15,7 +15,11 @@ fn main() {
     let bits = 16;
     let aig = epfl::adder(bits);
     let lib = CellLibrary::default();
-    println!("{bits}-bit ripple-carry adder: {} AND nodes, depth {}\n", aig.and_count(), aig.depth());
+    println!(
+        "{bits}-bit ripple-carry adder: {} AND nodes, depth {}\n",
+        aig.and_count(),
+        aig.depth()
+    );
 
     for (name, cfg) in [
         ("1-phase baseline", FlowConfig::single_phase()),
@@ -42,11 +46,19 @@ fn main() {
         .map(|k| {
             let a = 0x1234u64.wrapping_mul(k + 1) & 0xFFFF;
             let b = 0xBEEFu64.wrapping_mul(k + 1) & 0xFFFF;
-            (0..bits).map(|i| (a >> i) & 1 == 1).chain((0..bits).map(|i| (b >> i) & 1 == 1)).collect()
+            (0..bits)
+                .map(|i| (a >> i) & 1 == 1)
+                .chain((0..bits).map(|i| (b >> i) & 1 == 1))
+                .collect()
         })
         .collect();
     let outcome = pc.simulate(&vectors, 4).expect("schedule is valid");
-    println!("\npulse simulation: {} waves, {} hazards, {} pulses", vectors.len(), outcome.hazards, outcome.pulses);
+    println!(
+        "\npulse simulation: {} waves, {} hazards, {} pulses",
+        vectors.len(),
+        outcome.hazards,
+        outcome.pulses
+    );
     for (k, out) in outcome.outputs.iter().enumerate() {
         let sum: u64 = out.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum();
         let a = 0x1234u64.wrapping_mul(k as u64 + 1) & 0xFFFF;

@@ -17,9 +17,19 @@ fn fig1b() {
     println!("{:<8} {:<10} {:<6} outputs", "time", "input", "loop");
     let mut t1 = T1Cell::new(500);
     let apply = |t1: &mut T1Cell, time: u64, input: &str| {
-        let events = if input == "clock(R)" { t1.pulse_r(time) } else { t1.pulse_t(time) };
+        let events = if input == "clock(R)" {
+            t1.pulse_r(time)
+        } else {
+            t1.pulse_t(time)
+        };
         let evs: Vec<String> = events.iter().map(|e| format!("{e:?}")).collect();
-        println!("{:<8} {:<10} {:<6} {}", time, input, t1.state() as u8, evs.join(" "));
+        println!(
+            "{:<8} {:<10} {:<6} {}",
+            time,
+            input,
+            t1.state() as u8,
+            evs.join(" ")
+        );
     };
     // Epoch 1: a
     apply(&mut t1, 1000, "a");
@@ -52,12 +62,31 @@ fn fig1c() {
     let db = c.add_dff(Fanin::plain(b), 2);
     let dc = c.add_dff(Fanin::plain(cin), 3);
     let t1 = c.add_t1([Fanin::plain(da), Fanin::plain(db), Fanin::plain(dc)], 4);
-    c.add_output(Fanin { source: OutRef { elem: t1, port: 0 }, invert: false }, 5); // S
-    c.add_output(Fanin { source: OutRef { elem: t1, port: 1 }, invert: false }, 5); // C
-    c.add_output(Fanin { source: OutRef { elem: t1, port: 2 }, invert: false }, 5); // Q
+    c.add_output(
+        Fanin {
+            source: OutRef { elem: t1, port: 0 },
+            invert: false,
+        },
+        5,
+    ); // S
+    c.add_output(
+        Fanin {
+            source: OutRef { elem: t1, port: 1 },
+            invert: false,
+        },
+        5,
+    ); // C
+    c.add_output(
+        Fanin {
+            source: OutRef { elem: t1, port: 2 },
+            invert: false,
+        },
+        5,
+    ); // Q
 
-    let vectors: Vec<Vec<bool>> =
-        (0..8u32).map(|i| (0..3).map(|k| (i >> k) & 1 == 1).collect()).collect();
+    let vectors: Vec<Vec<bool>> = (0..8u32)
+        .map(|i| (0..3).map(|k| (i >> k) & 1 == 1).collect())
+        .collect();
     let (out, trace) = c
         .simulate_traced(&vectors, 4, Some(&[a, b, cin, da, db, dc, t1]))
         .expect("valid schedule");
@@ -78,7 +107,10 @@ fn fig1c() {
             34,
         )
     );
-    println!("{:<10} {:>12} {:>12} {:>10}", "a b cin", "S (xor3)", "C (maj3)", "Q (or3)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>10}",
+        "a b cin", "S (xor3)", "C (maj3)", "Q (or3)"
+    );
     for (i, o) in out.outputs.iter().enumerate() {
         println!(
             "{} {} {}    {:>10} {:>12} {:>12}",
@@ -94,7 +126,10 @@ fn fig1c() {
         assert_eq!(o[1], ones >= 2);
         assert_eq!(o[2], ones >= 1);
     }
-    println!("hazards: {} (multiphase staggering keeps T pulses separated)", out.hazards);
+    println!(
+        "hazards: {} (multiphase staggering keeps T pulses separated)",
+        out.hazards
+    );
     assert_eq!(out.hazards, 0);
 
     // Counter-experiment: release all three operands at the SAME phase —
@@ -104,7 +139,10 @@ fn fig1c() {
     bad.pulse_t(1000);
     bad.pulse_t(1010);
     bad.pulse_t(1020);
-    println!("\nwithout staggering: {} hazards on one epoch", bad.hazards());
+    println!(
+        "\nwithout staggering: {} hazards on one epoch",
+        bad.hazards()
+    );
     assert!(bad.hazards() > 0);
 }
 

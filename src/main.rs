@@ -21,8 +21,8 @@ use sfq_t1::netlist::aiger;
 use sfq_t1::netlist::Aig;
 use sfq_t1::t1map::cells::CellLibrary;
 use sfq_t1::t1map::flow::{run_flow, FlowConfig, PhaseEngine};
-use sfq_t1::t1map::verilog::{cell_models, export, ExportOptions};
 use sfq_t1::t1map::to_pulse_circuit;
+use sfq_t1::t1map::verilog::{cell_models, export, ExportOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,14 +71,16 @@ fn load_aig(path: &str) -> Result<Aig, String> {
     } else if bytes.starts_with(b"aig") {
         aiger::read_binary(&bytes).map_err(|e| e.to_string())
     } else {
-        Err(format!("{path}: neither ASCII ('aag') nor binary ('aig') AIGER"))
+        Err(format!(
+            "{path}: neither ASCII ('aag') nor binary ('aig') AIGER"
+        ))
     }
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
-    let name = args
-        .first()
-        .ok_or("gen: benchmark name required (adder, multiplier, square, sin, log2, voter, c6288, c7552)")?;
+    let name = args.first().ok_or(
+        "gen: benchmark name required (adder, multiplier, square, sin, log2, voter, c6288, c7552)",
+    )?;
     let width: usize = args
         .get(1)
         .filter(|a| !a.starts_with('-'))
@@ -123,7 +125,11 @@ fn cmd_map(args: &[String], verify: bool) -> Result<(), String> {
     if use_t1 && phases < 3 {
         return Err("T1 flows need at least 3 phases (use --no-t1 for fewer)".into());
     }
-    let mut cfg = if use_t1 { FlowConfig::t1(phases) } else { FlowConfig::multiphase(phases) };
+    let mut cfg = if use_t1 {
+        FlowConfig::t1(phases)
+    } else {
+        FlowConfig::multiphase(phases)
+    };
     if has_flag(args, "--exact") {
         cfg.engine = PhaseEngine::Exact;
     }

@@ -21,7 +21,11 @@ fn gen_map_verify_roundtrip() {
         .args(["gen", "adder", "8", "-o", aag.to_str().unwrap()])
         .output()
         .expect("run gen");
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args(["verify", aag.to_str().unwrap(), "--waves", "4"])
@@ -56,7 +60,11 @@ fn binary_aiger_and_verilog_export() {
         ])
         .output()
         .expect("run map");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let verilog = std::fs::read_to_string(&v).expect("verilog written");
     assert!(verilog.contains("module sfq_top"));
     assert!(verilog.contains("sfq_t1 "));
@@ -91,7 +99,10 @@ fn errors_are_reported() {
     let out = bin().arg("frobnicate").output().expect("run");
     assert!(!out.status.success());
     // Missing file.
-    let out = bin().args(["map", "/nonexistent.aag"]).output().expect("run");
+    let out = bin()
+        .args(["map", "/nonexistent.aag"])
+        .output()
+        .expect("run");
     assert!(!out.status.success());
     // T1 with too few phases.
     let aag = tmp("tiny.aag");

@@ -17,7 +17,11 @@ fn check(aig: &Aig, cfg: &FlowConfig, vectors: Vec<Vec<bool>>) {
     let pc = to_pulse_circuit(&res.mapped, &res.schedule, &res.plan);
     let outcome = pc.simulate(&vectors, cfg.phases).expect("simulatable");
     for (k, v) in vectors.iter().enumerate() {
-        assert_eq!(outcome.outputs[k], aig.eval(v), "pulse-sim equivalence wave {k}");
+        assert_eq!(
+            outcome.outputs[k],
+            aig.eval(v),
+            "pulse-sim equivalence wave {k}"
+        );
     }
 }
 
@@ -26,8 +30,16 @@ fn passthrough_output() {
     let mut g = Aig::new();
     let a = g.add_pi();
     g.add_po(a);
-    check(&g, &FlowConfig::multiphase(4), vec![vec![true], vec![false]]);
-    check(&g, &FlowConfig::single_phase(), vec![vec![true], vec![false]]);
+    check(
+        &g,
+        &FlowConfig::multiphase(4),
+        vec![vec![true], vec![false]],
+    );
+    check(
+        &g,
+        &FlowConfig::single_phase(),
+        vec![vec![true], vec![false]],
+    );
 }
 
 #[test]
@@ -44,7 +56,11 @@ fn constant_outputs_only() {
     let _a = g.add_pi();
     g.add_po(Lit::FALSE);
     g.add_po(Lit::TRUE);
-    check(&g, &FlowConfig::multiphase(4), vec![vec![true], vec![false]]);
+    check(
+        &g,
+        &FlowConfig::multiphase(4),
+        vec![vec![true], vec![false]],
+    );
 }
 
 #[test]
@@ -59,7 +75,9 @@ fn duplicated_output() {
     check(
         &g,
         &FlowConfig::multiphase(4),
-        (0..4u32).map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1]).collect(),
+        (0..4u32)
+            .map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1])
+            .collect(),
     );
 }
 
@@ -70,8 +88,9 @@ fn single_gate_each_flow() {
     let b = g.add_pi();
     let x = g.xor(a, b);
     g.add_po(x);
-    let vectors: Vec<Vec<bool>> =
-        (0..4u32).map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1]).collect();
+    let vectors: Vec<Vec<bool>> = (0..4u32)
+        .map(|i| vec![i & 1 == 1, i >> 1 & 1 == 1])
+        .collect();
     check(&g, &FlowConfig::single_phase(), vectors.clone());
     check(&g, &FlowConfig::multiphase(4), vectors.clone());
     check(&g, &FlowConfig::t1(4), vectors);

@@ -29,7 +29,11 @@ fn verify(name: &str, aig: &Aig, cfg: &FlowConfig, waves: usize) {
     let res = run_flow(aig, &lib, cfg);
     res.schedule.validate(&res.mapped).expect("valid schedule");
     let pc = to_pulse_circuit(&res.mapped, &res.schedule, &res.plan);
-    assert_eq!(pc.dff_count() as u64, res.plan.total_dffs, "{name}: plan/netlist DFF mismatch");
+    assert_eq!(
+        pc.dff_count() as u64,
+        res.plan.total_dffs,
+        "{name}: plan/netlist DFF mismatch"
+    );
     let vectors = random_vectors(aig.pi_count(), waves, 0x5EED ^ aig.and_count() as u64);
     let outcome = pc.simulate(&vectors, cfg.phases).expect("simulatable");
     assert_eq!(outcome.hazards, 0, "{name}: T1 pulse-overlap hazards");

@@ -24,7 +24,10 @@ fn heuristic_matches_milp_on_small_adders() {
             let e = assign_phases_exact(&mc, n).expect("exact solvable");
             let ho = edge_dff_objective(&mc, &h);
             let eo = edge_dff_objective(&mc, &e);
-            assert!(eo <= ho, "exact must be optimal: {eo} vs {ho} ({bits} bits, n={n})");
+            assert!(
+                eo <= ho,
+                "exact must be optimal: {eo} vs {ho} ({bits} bits, n={n})"
+            );
             assert!(
                 ho <= eo + eo / 4 + 2,
                 "heuristic within 25%+2 of optimum: {ho} vs {eo} ({bits} bits, n={n})"
@@ -37,12 +40,19 @@ fn heuristic_matches_milp_on_small_adders() {
 fn heuristic_matches_milp_on_random_networks() {
     let lib = CellLibrary::default();
     for seed in 0..6 {
-        let cfg = RandomAigConfig { num_pis: 5, num_gates: 14, num_pos: 3, xor_percent: 30 };
+        let cfg = RandomAigConfig {
+            num_pis: 5,
+            num_gates: 14,
+            num_pos: 3,
+            xor_percent: 30,
+        };
         let aig = random_aig(seed, &cfg);
         let mc = map(&aig, &lib, None).circuit;
         for n in [1u32, 4] {
             let h = assign_phases(&mc, n, 3);
-            let Ok(e) = assign_phases_exact(&mc, n) else { continue };
+            let Ok(e) = assign_phases_exact(&mc, n) else {
+                continue;
+            };
             let ho = edge_dff_objective(&mc, &h);
             let eo = edge_dff_objective(&mc, &e);
             assert!(eo <= ho, "seed {seed} n={n}: exact {eo} vs heuristic {ho}");
@@ -103,12 +113,48 @@ fn feasible_with_k(source: i64, reqs: &[Requirement], n: i64, k: usize) -> bool 
 #[test]
 fn chain_builder_is_optimal_vs_exhaustive() {
     for (source, reqs, n) in [
-        (0i64, vec![Requirement::Window(5), Requirement::Window(9)], 4i64),
-        (0, vec![Requirement::Exact(3), Requirement::Exact(5), Requirement::Window(11)], 4),
-        (2, vec![Requirement::Exact(4), Requirement::Exact(5), Requirement::Exact(6)], 4),
+        (
+            0i64,
+            vec![Requirement::Window(5), Requirement::Window(9)],
+            4i64,
+        ),
+        (
+            0,
+            vec![
+                Requirement::Exact(3),
+                Requirement::Exact(5),
+                Requirement::Window(11),
+            ],
+            4,
+        ),
+        (
+            2,
+            vec![
+                Requirement::Exact(4),
+                Requirement::Exact(5),
+                Requirement::Exact(6),
+            ],
+            4,
+        ),
         (0, vec![Requirement::Window(7)], 1),
-        (1, vec![Requirement::Window(4), Requirement::Exact(9), Requirement::Window(12)], 3),
-        (0, vec![Requirement::Exact(2), Requirement::Window(10), Requirement::Window(6)], 4),
+        (
+            1,
+            vec![
+                Requirement::Window(4),
+                Requirement::Exact(9),
+                Requirement::Window(12),
+            ],
+            3,
+        ),
+        (
+            0,
+            vec![
+                Requirement::Exact(2),
+                Requirement::Window(10),
+                Requirement::Window(6),
+            ],
+            4,
+        ),
     ] {
         let greedy = build_chain(source, &reqs, n).dff_count();
         // No smaller chain exists…
@@ -127,7 +173,9 @@ fn chain_builder_is_optimal_vs_exhaustive() {
 fn chain_builder_optimal_on_random_requirement_sets() {
     let mut seed = 0xACE1u64;
     let mut next = move |m: u64| {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) % m
     };
     for _ in 0..40 {
@@ -170,7 +218,9 @@ fn t1_staggering_satisfies_eq5_cp_model() {
     let n = 4i64;
     let mut t1_cells = 0;
     for (id, cell) in res.mapped.cells() {
-        let MappedCell::T1 { fanins } = cell else { continue };
+        let MappedCell::T1 { fanins } = cell else {
+            continue;
+        };
         t1_cells += 1;
         let sigma = res.schedule.stages[id.index()];
         let offsets = res.schedule.t1_offsets[id.index()].expect("offsets");
@@ -208,6 +258,10 @@ fn insertion_total_is_sum_of_chains() {
     let mc = map(&aig, &lib, None).circuit;
     let sched = assign_phases(&mc, 4, 2);
     let plan = insert_dffs(&mc, &sched);
-    let sum: u64 = plan.drivers.iter().map(|d| d.chain.dff_count() as u64).sum();
+    let sum: u64 = plan
+        .drivers
+        .iter()
+        .map(|d| d.chain.dff_count() as u64)
+        .sum();
     assert_eq!(sum, plan.total_dffs);
 }

@@ -12,16 +12,10 @@ use sfq_t1::t1map::verilog::{cell_models, export, ExportOptions};
 fn ratios_are_consistent_with_stats() {
     let lib = CellLibrary::default();
     let row = TableRow::measure("adder10", &epfl::adder(10), &lib, 4);
+    assert!((row.dff_ratio_1() - row.t1.dffs as f64 / row.single.dffs as f64).abs() < 1e-12);
+    assert!((row.area_ratio_n() - row.t1.area as f64 / row.multi.area as f64).abs() < 1e-12);
     assert!(
-        (row.dff_ratio_1() - row.t1.dffs as f64 / row.single.dffs as f64).abs() < 1e-12
-    );
-    assert!(
-        (row.area_ratio_n() - row.t1.area as f64 / row.multi.area as f64).abs() < 1e-12
-    );
-    assert!(
-        (row.depth_ratio_n()
-            - row.t1.depth_cycles as f64 / row.multi.depth_cycles as f64)
-            .abs()
+        (row.depth_ratio_n() - row.t1.depth_cycles as f64 / row.multi.depth_cycles as f64).abs()
             < 1e-12
     );
 }
@@ -56,7 +50,12 @@ fn csv_schema_is_stable() {
 fn verilog_wire_counts_match_netlist() {
     let lib = CellLibrary::default();
     let res = run_flow(&epfl::adder(6), &lib, &FlowConfig::t1(4));
-    let v = export(&res, &ExportOptions { module_name: "adder6".into() });
+    let v = export(
+        &res,
+        &ExportOptions {
+            module_name: "adder6".into(),
+        },
+    );
     let t1_instances = v.matches("sfq_t1 t1_").count();
     assert_eq!(t1_instances, res.mapped.t1_count());
     let gate_instances = v.matches("sfq_gate").count() - cell_models_gate_decls();
@@ -76,7 +75,10 @@ fn energy_scales_linearly_with_jj_count() {
     let r1 = m.report(100, 10.0, 1e9);
     let r2 = m.report(200, 10.0, 1e9);
     assert!((r2.static_power_w - 2.0 * r1.static_power_w).abs() < 1e-15);
-    assert!((r2.dynamic_power_w - r1.dynamic_power_w).abs() < 1e-18, "dynamic independent of JJs");
+    assert!(
+        (r2.dynamic_power_w - r1.dynamic_power_w).abs() < 1e-18,
+        "dynamic independent of JJs"
+    );
 }
 
 #[test]

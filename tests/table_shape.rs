@@ -13,9 +13,21 @@ fn adder_row_shape_matches_paper() {
     // quadratic balancing chains).
     let lib = CellLibrary::default();
     let row = TableRow::measure("adder", &epfl::adder(32), &lib, 4);
-    assert!(row.t1.t1_used >= 30, "nearly every FA becomes a T1: {}", row.t1.t1_used);
-    assert!(row.dff_ratio_1() < 0.35, "T1 crushes 1φ DFFs: {:.2}", row.dff_ratio_1());
-    assert!(row.dff_ratio_n() < 1.0, "T1 beats 4φ DFFs: {:.2}", row.dff_ratio_n());
+    assert!(
+        row.t1.t1_used >= 30,
+        "nearly every FA becomes a T1: {}",
+        row.t1.t1_used
+    );
+    assert!(
+        row.dff_ratio_1() < 0.35,
+        "T1 crushes 1φ DFFs: {:.2}",
+        row.dff_ratio_1()
+    );
+    assert!(
+        row.dff_ratio_n() < 1.0,
+        "T1 beats 4φ DFFs: {:.2}",
+        row.dff_ratio_n()
+    );
     assert!(
         row.area_ratio_n() > 0.6 && row.area_ratio_n() < 0.95,
         "T1 area win in the paper's ballpark (0.75): {:.2}",
@@ -38,7 +50,10 @@ fn multiplier_benefits_like_paper() {
     // Paper: c6288 area ratio 0.91, multiplier 0.95 vs 4φ.
     let lib = CellLibrary::default();
     let row = TableRow::measure("c6288", &iscas::c6288_like(), &lib, 4);
-    assert!(row.t1.t1_used > 50, "array multipliers are full-adder fabrics");
+    assert!(
+        row.t1.t1_used > 50,
+        "array multipliers are full-adder fabrics"
+    );
     assert!(
         row.area_ratio_n() < 1.0,
         "T1 wins area on the multiplier: {:.2}",
@@ -73,7 +88,11 @@ fn averages_match_paper_direction() {
     t.add("voter", &epfl::voter(63), &lib, 4);
     let avg = t.averages();
     assert!(avg[2] < 0.7, "area vs 1φ strongly improves: {:.2}", avg[2]);
-    assert!(avg[3] < 1.0, "area vs 4φ improves on average: {:.2}", avg[3]);
+    assert!(
+        avg[3] < 1.0,
+        "area vs 4φ improves on average: {:.2}",
+        avg[3]
+    );
     assert!(avg[5] >= 1.0, "depth vs 4φ does not improve: {:.2}", avg[5]);
     assert!(avg[0] < 0.5, "DFFs vs 1φ strongly improve: {:.2}", avg[0]);
 }

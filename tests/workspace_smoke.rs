@@ -1,0 +1,50 @@
+//! Workspace smoke test: the README / `lib.rs` quickstart path must keep
+//! working exactly as documented — `epfl::adder(16)` through [`run_flow`],
+//! baseline multiphase vs the T1 flow, with the T1 flow winning on area.
+
+use sfq_t1::circuits::epfl;
+use sfq_t1::t1map::cells::CellLibrary;
+use sfq_t1::t1map::flow::{run_flow, FlowConfig};
+
+#[test]
+fn quickstart_t1_beats_baseline_on_adder16() {
+    let aig = epfl::adder(16);
+    let lib = CellLibrary::default();
+
+    let baseline = run_flow(&aig, &lib, &FlowConfig::multiphase(4));
+    let proposed = run_flow(&aig, &lib, &FlowConfig::t1(4));
+
+    // The documented claim: T1 mapping wins on adders.
+    assert!(
+        proposed.stats.area < baseline.stats.area,
+        "T1 flow area {} must beat baseline area {} on adder(16)",
+        proposed.stats.area,
+        baseline.stats.area
+    );
+
+    // The T1 flow actually used T1 cells to get there.
+    assert!(
+        proposed.stats.t1_used > 0,
+        "T1 flow selected no T1 cells on an adder"
+    );
+
+    // Both flows preserve the Boolean function of the source AIG.
+    let inputs: Vec<u64> = (0..aig.pi_count() as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let want = aig.eval64(&inputs);
+    assert_eq!(
+        want,
+        baseline.mapped.eval64(&inputs),
+        "baseline flow changed the function"
+    );
+    assert_eq!(
+        want,
+        proposed.mapped.eval64(&inputs),
+        "T1 flow changed the function"
+    );
+
+    // Schedules of both flows satisfy their timing constraints.
+    assert_eq!(baseline.schedule.validate(&baseline.mapped), Ok(()));
+    assert_eq!(proposed.schedule.validate(&proposed.mapped), Ok(()));
+}
