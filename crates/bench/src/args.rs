@@ -1,0 +1,69 @@
+//! Shared flag parsing for the suite-running binaries.
+//!
+//! `table1`, `ablation` and the CLI `suite` subcommand all take `--jobs`
+//! (and two of them `--csv`); one parser keeps the three front ends
+//! agreeing on syntax and on *failing loudly* — a bare `--csv` or a
+//! malformed `--jobs` is a hard error, never a silently dropped file or a
+//! silent fallback to the default worker count.
+
+use sfq_engine::default_workers;
+
+/// Parses `--csv <path>`: `Ok(Some(path))` when present with a path,
+/// `Ok(None)` when absent, and an error when the path is missing or looks
+/// like another flag.
+pub fn csv_flag(args: &[String]) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == "--csv") else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(path) if !path.starts_with('-') => Ok(Some(path.clone())),
+        _ => Err("--csv requires a file path (e.g. --csv table1.csv)".to_string()),
+    }
+}
+
+/// Parses `--jobs <N>` (N ≥ 1), defaulting to the machine's available
+/// parallelism when the flag is absent.
+pub fn jobs_flag(args: &[String]) -> Result<usize, String> {
+    let Some(i) = args.iter().position(|a| a == "--jobs") else {
+        return Ok(default_workers());
+    };
+    let value = args
+        .get(i + 1)
+        .ok_or("--jobs requires a worker count (e.g. --jobs 4)")?;
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs: '{value}' is not a positive integer")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn csv_present_absent_and_missing_path() {
+        assert_eq!(
+            csv_flag(&args(&["--csv", "out.csv"])).unwrap(),
+            Some("out.csv".into())
+        );
+        assert_eq!(csv_flag(&args(&["--small"])).unwrap(), None);
+        assert!(csv_flag(&args(&["--csv"])).is_err(), "bare --csv");
+        assert!(
+            csv_flag(&args(&["--csv", "--small"])).is_err(),
+            "flag where the path should be"
+        );
+    }
+
+    #[test]
+    fn jobs_valid_invalid_and_default() {
+        assert_eq!(jobs_flag(&args(&["--jobs", "3"])).unwrap(), 3);
+        assert!(jobs_flag(&args(&[])).unwrap() >= 1, "defaults to ≥ 1");
+        for bad in [&["--jobs"][..], &["--jobs", "0"], &["--jobs", "abc"]] {
+            assert!(jobs_flag(&args(bad)).is_err(), "{bad:?} must hard-error");
+        }
+    }
+}

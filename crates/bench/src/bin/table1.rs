@@ -1,23 +1,37 @@
 //! Regenerates Table I of the paper: all eight benchmarks through the 1φ,
 //! 4φ and T1 flows, with ratio columns and averages.
 //!
+//! All benchmark×flow jobs are submitted up front to the `sfq-engine`
+//! worker pool; results come back in deterministic input order, so the
+//! table on stdout is byte-identical for every `--jobs` value (progress and
+//! timing go to stderr).
+//!
 //! ```sh
-//! cargo run --release -p sfq-bench --bin table1 [-- --small] [-- --csv out.csv]
+//! cargo run --release -p sfq-bench --bin table1 -- \
+//!     [--small] [--jobs N] [--csv out.csv]
 //! ```
 
-use sfq_bench::{paper_benchmarks, BenchmarkScale};
-use std::time::Instant;
+use sfq_bench::{csv_flag, jobs_flag, progress_line, table1_jobs, BenchmarkScale};
+use sfq_engine::SuiteRunner;
+use std::process::ExitCode;
 use t1map::cells::CellLibrary;
-use t1map::report::TableOne;
+use t1map::report::{TableOne, TableRow};
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
     let small = args.iter().any(|a| a == "--small");
-    let csv_path = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let csv_path = csv_flag(args)?;
+    let workers = jobs_flag(args)?;
 
     let scale = if small {
         BenchmarkScale::small()
@@ -31,24 +45,46 @@ fn main() {
         "Table I — multiphase clocking with T1 cells ({} scale, n = {n} phases)\n",
         if small { "small" } else { "paper" }
     );
+
+    let jobs = table1_jobs(&scale, n, &lib);
+    let report = SuiteRunner::new(workers).run_with_progress(&jobs, |o| {
+        progress_line(format_args!(
+            "  [{:>2}/{}] {:<14} {:>6} ANDs  {} in {:>7.1?}",
+            o.completed,
+            o.total,
+            o.job.label(),
+            o.job.aig.and_count(),
+            if o.cache_hit { "cached" } else { "mapped" },
+            o.duration
+        ));
+    });
+
     let mut table = TableOne::new();
-    for (name, aig) in paper_benchmarks(&scale) {
-        let t0 = Instant::now();
-        table.add(name, &aig, &lib, n);
-        eprintln!(
-            "  {name:<11} {:>6} ANDs  mapped in {:>7.1?}",
-            aig.and_count(),
-            t0.elapsed()
-        );
+    for (triple, job) in report.results.chunks(3).zip(jobs.iter().step_by(3)) {
+        table.push(TableRow::from_stats(
+            &job.name,
+            triple[0].stats,
+            triple[1].stats,
+            triple[2].stats,
+        ));
     }
     println!("\n{table}");
     println!(
         "paper averages for comparison: DFF T1/1φ 0.35, T1/4φ 0.94; \
          area 0.59 / 0.94; depth 0.29 / 1.13"
     );
+    progress_line(format_args!(
+        "suite: {} jobs on {} workers in {:.1?} ({} cache hits, {} flow runs)",
+        jobs.len(),
+        report.workers,
+        report.elapsed,
+        report.cache.hits,
+        report.cache.misses
+    ));
 
     if let Some(path) = csv_path {
-        std::fs::write(&path, table.to_csv()).expect("write CSV");
+        std::fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("CSV written to {path}");
     }
+    Ok(())
 }

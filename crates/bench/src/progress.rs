@@ -1,0 +1,51 @@
+//! Interleaving-safe progress output for the benchmark binaries.
+//!
+//! `eprintln!` can issue several small writes for one line (format
+//! fragments, then the newline), so two threads reporting progress at once
+//! may interleave mid-line. [`progress_line`] formats the whole line —
+//! newline included — into one buffer first and emits it with a single
+//! locked write, so lines from parallel engine workers stay whole.
+//!
+//! Progress goes to *stderr* by design: the tables and CSVs the binaries
+//! produce on stdout stay byte-identical across worker counts and can be
+//! diffed or piped, while timing and cache chatter lands on the terminal.
+
+use std::io::Write;
+
+/// Writes one whole line to stderr atomically with respect to other
+/// `progress_line` callers in this process.
+///
+/// Accepts anything displayable; combine with `format_args!` to avoid an
+/// intermediate allocation at call sites that already format fields.
+pub fn progress_line(msg: impl std::fmt::Display) {
+    let line = format!("{msg}\n");
+    // A single `write_all` on the locked handle is one `write(2)` for any
+    // realistic line length, and the lock orders whole lines regardless.
+    let mut stderr = std::io::stderr().lock();
+    let _ = stderr.write_all(line.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_display_and_format_args() {
+        progress_line("plain str");
+        progress_line(format_args!("{} + {} = {}", 1, 2, 1 + 2));
+        progress_line(String::from("owned"));
+    }
+
+    #[test]
+    fn parallel_lines_do_not_panic() {
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                s.spawn(move || {
+                    for i in 0..10 {
+                        progress_line(format_args!("thread {t} line {i}"));
+                    }
+                });
+            }
+        });
+    }
+}

@@ -175,6 +175,27 @@ impl CellLibrary {
         self.t1_core + 2 * self.merger
     }
 
+    /// Feeds a canonical encoding of the library into `h` — every JJ cost in
+    /// fixed declaration order behind a version tag — so equal libraries
+    /// produce equal digests across processes. Part of the `sfq-engine`
+    /// content-addressed cache key.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        h.write_u8(1); // encoding version
+        for cost in [
+            self.dff,
+            self.splitter,
+            self.not,
+            self.buffer,
+            self.and2,
+            self.xor2,
+            self.maj3,
+            self.merger,
+            self.t1_core,
+        ] {
+            h.write_u32(cost);
+        }
+    }
+
     /// Cost of the conventional (non-T1) full adder for reference: XOR3 as
     /// two XOR2 levels, MAJ3 as three AND2 + two OR2(-class) cells
     /// (splitters excluded — they are charged at the netlist level).

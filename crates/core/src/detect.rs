@@ -46,6 +46,16 @@ impl Default for DetectConfig {
     }
 }
 
+impl DetectConfig {
+    /// Feeds a canonical encoding of the detection parameters into `h`, in
+    /// fixed field order, for the `sfq-engine` content-addressed cache key.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        h.write_usize(self.cut.max_leaves);
+        h.write_usize(self.cut.max_cuts);
+        h.write_usize(self.min_members);
+    }
+}
+
 /// Result of T1 detection.
 #[derive(Debug, Clone)]
 pub struct DetectionResult {

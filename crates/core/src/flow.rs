@@ -74,6 +74,24 @@ impl FlowConfig {
             ..Self::single_phase()
         }
     }
+
+    /// Feeds a canonical encoding of the configuration into `h` — every
+    /// field in fixed order and width behind a version tag — so equal
+    /// configurations produce equal digests across processes. Together with
+    /// [`CellLibrary::fingerprint`] and
+    /// [`Aig::structural_hash`](sfq_netlist::aig::Aig::structural_hash) this
+    /// forms the `sfq-engine` content-addressed cache key.
+    pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
+        h.write_u8(1); // encoding version
+        h.write_u32(self.phases);
+        h.write_u8(self.use_t1 as u8);
+        h.write_u8(match self.engine {
+            PhaseEngine::Heuristic => 0,
+            PhaseEngine::Exact => 1,
+        });
+        h.write_usize(self.opt_passes);
+        self.detect.fingerprint(h);
+    }
 }
 
 /// Aggregate metrics of a flow run (one Table-I cell group).
@@ -158,6 +176,22 @@ pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult
         stats,
     }
 }
+
+// Compile-time Send + Sync audit: `sfq-engine` moves jobs (AIG + library +
+// config) into worker threads and shares `Arc<FlowResult>`s across them, so
+// every type on that path must stay thread-safe. Adding an `Rc`/`RefCell`
+// or a raw pointer to any of these breaks this constant, not the engine.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Aig>();
+    assert_send_sync::<CellLibrary>();
+    assert_send_sync::<FlowConfig>();
+    assert_send_sync::<FlowStats>();
+    assert_send_sync::<FlowResult>();
+    assert_send_sync::<MappedCircuit>();
+    assert_send_sync::<Schedule>();
+    assert_send_sync::<DffPlan>();
+};
 
 #[cfg(test)]
 mod tests {

@@ -24,17 +24,23 @@ pub struct TableRow {
 }
 
 impl TableRow {
-    /// Runs all three flows on `aig` under `n` phases.
-    pub fn measure(name: &str, aig: &Aig, lib: &CellLibrary, n: u32) -> Self {
-        let single = run_flow(aig, lib, &FlowConfig::single_phase()).stats;
-        let multi = run_flow(aig, lib, &FlowConfig::multiphase(n)).stats;
-        let t1 = run_flow(aig, lib, &FlowConfig::t1(n)).stats;
+    /// Assembles a row from already-measured flow stats (the `sfq-engine`
+    /// path: flows run elsewhere, possibly in parallel or from cache).
+    pub fn from_stats(name: &str, single: FlowStats, multi: FlowStats, t1: FlowStats) -> Self {
         TableRow {
             name: name.to_string(),
             single,
             multi,
             t1,
         }
+    }
+
+    /// Runs all three flows on `aig` under `n` phases.
+    pub fn measure(name: &str, aig: &Aig, lib: &CellLibrary, n: u32) -> Self {
+        let single = run_flow(aig, lib, &FlowConfig::single_phase()).stats;
+        let multi = run_flow(aig, lib, &FlowConfig::multiphase(n)).stats;
+        let t1 = run_flow(aig, lib, &FlowConfig::t1(n)).stats;
+        Self::from_stats(name, single, multi, t1)
     }
 
     /// `T1 / 1φ` DFF ratio.
@@ -98,6 +104,11 @@ impl TableOne {
         let row = TableRow::measure(name, aig, lib, n);
         self.rows.push(row);
         self.rows.last().expect("just pushed")
+    }
+
+    /// Appends an already-measured row (the `sfq-engine` path).
+    pub fn push(&mut self, row: TableRow) {
+        self.rows.push(row);
     }
 
     /// Geometric-mean-free averages of the ratio columns, in the paper's

@@ -1,0 +1,211 @@
+//! Content-addressed in-memory result cache with in-flight deduplication.
+
+use crate::job::CacheKey;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use t1map::flow::FlowResult;
+
+/// Snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests served without running the flow (including requests that
+    /// waited for another worker's in-flight computation of the same key).
+    pub hits: u64,
+    /// Requests that ran the flow.
+    pub misses: u64,
+}
+
+enum Slot {
+    /// A worker is computing this key; waiters block on the condvar.
+    InFlight,
+    /// Finished result, shared by reference count.
+    Ready(Arc<FlowResult>),
+}
+
+/// A content-addressed store of flow results.
+///
+/// [`get_or_compute`](ResultCache::get_or_compute) guarantees each key is
+/// computed at most once even under concurrent submission: the first caller
+/// claims the key and computes *outside* the lock, later callers for the
+/// same key sleep on a condvar and wake to share the finished `Arc`. If the
+/// computing closure panics, the claim is released and a waiter takes over,
+/// so one poisoned job cannot deadlock the pool.
+#[derive(Default)]
+pub struct ResultCache {
+    slots: Mutex<HashMap<CacheKey, Slot>>,
+    ready: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Releases an in-flight claim if the computing closure unwinds.
+struct ClaimGuard<'a> {
+    cache: &'a ResultCache,
+    key: CacheKey,
+    armed: bool,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut slots = self.cache.slots.lock().unwrap();
+            slots.remove(&self.key);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+impl ResultCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the result for `key`, running `compute` only if no other
+    /// request has produced (or is producing) it. The flag is `true` when
+    /// the result came from the cache.
+    pub fn get_or_compute<F>(&self, key: CacheKey, compute: F) -> (Arc<FlowResult>, bool)
+    where
+        F: FnOnce() -> FlowResult,
+    {
+        {
+            let mut slots = self.slots.lock().unwrap();
+            loop {
+                match slots.get(&key) {
+                    Some(Slot::Ready(result)) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return (result.clone(), true);
+                    }
+                    Some(Slot::InFlight) => {
+                        slots = self.ready.wait(slots).unwrap();
+                    }
+                    None => {
+                        slots.insert(key, Slot::InFlight);
+                        break;
+                    }
+                }
+            }
+        }
+        let mut guard = ClaimGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        let result = Arc::new(compute());
+        guard.armed = false;
+        let mut slots = self.slots.lock().unwrap();
+        slots.insert(key, Slot::Ready(result.clone()));
+        self.ready.notify_all();
+        drop(slots);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        (result, false)
+    }
+
+    /// Returns the cached result for `key`, if present and finished.
+    pub fn get(&self, key: CacheKey) -> Option<Arc<FlowResult>> {
+        match self.slots.lock().unwrap().get(&key) {
+            Some(Slot::Ready(result)) => Some(result.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of finished entries.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Returns `true` if no finished entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_circuits::epfl::adder;
+    use t1map::cells::CellLibrary;
+    use t1map::flow::{run_flow, FlowConfig};
+
+    fn small_result() -> FlowResult {
+        run_flow(
+            &adder(2),
+            &CellLibrary::default(),
+            &FlowConfig::single_phase(),
+        )
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = ResultCache::new();
+        let key = CacheKey { aig: 1, setup: 2 };
+        let mut runs = 0;
+        let (_, hit) = cache.get_or_compute(key, || {
+            runs += 1;
+            small_result()
+        });
+        assert!(!hit);
+        let (_, hit) = cache.get_or_compute(key, || {
+            runs += 1;
+            small_result()
+        });
+        assert!(hit);
+        assert_eq!(runs, 1);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(key).is_some());
+        assert!(cache.get(CacheKey { aig: 9, setup: 9 }).is_none());
+    }
+
+    #[test]
+    fn panicking_compute_releases_the_claim() {
+        let cache = ResultCache::new();
+        let key = CacheKey { aig: 3, setup: 4 };
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.get_or_compute(key, || panic!("boom"));
+        }));
+        assert!(panic.is_err());
+        // The claim is gone: a retry computes instead of deadlocking.
+        let (_, hit) = cache.get_or_compute(key, small_result);
+        assert!(!hit);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_compute_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = ResultCache::new();
+        let key = CacheKey { aig: 5, setup: 6 };
+        let runs = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    cache.get_or_compute(key, || {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window so waiters actually block.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        small_result()
+                    });
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one computation");
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 4);
+        assert_eq!(stats.misses, 1);
+    }
+}

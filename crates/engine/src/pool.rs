@@ -1,0 +1,213 @@
+//! Fixed-size worker pool and suite orchestration.
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::job::Job;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+use t1map::flow::{run_flow, FlowResult, FlowStats};
+
+/// Worker count to use when the caller does not specify one: the machine's
+/// [`available_parallelism`](std::thread::available_parallelism), or 1 if
+/// that cannot be determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Progress event for one finished job, streamed to the caller as results
+/// arrive (in *completion* order, which under parallelism differs from
+/// submission order — `index` identifies the job, `completed` counts
+/// progress).
+#[derive(Debug, Clone, Copy)]
+pub struct JobOutcome<'a> {
+    /// The finished job.
+    pub job: &'a Job,
+    /// Index of the job in the submitted slice.
+    pub index: usize,
+    /// How many jobs have finished so far (including this one).
+    pub completed: usize,
+    /// Total number of submitted jobs.
+    pub total: usize,
+    /// Whether the result came from the cache instead of a flow run.
+    pub cache_hit: bool,
+    /// Wall-clock time this job occupied a worker. Near zero for hits on an
+    /// already-finished entry; a hit that piggybacked on another worker's
+    /// in-flight computation of the same key reports the time spent waiting
+    /// for that computation instead.
+    pub duration: Duration,
+    /// Aggregate metrics of the result.
+    pub stats: FlowStats,
+}
+
+/// Everything a suite run produces.
+#[derive(Debug)]
+pub struct SuiteReport {
+    /// One result per submitted job, in submission order — independent of
+    /// completion order, so serial and parallel runs render identically.
+    /// Jobs that shared a cache entry share the same `Arc`.
+    pub results: Vec<Arc<FlowResult>>,
+    /// Cache counters for the run.
+    pub cache: CacheStats,
+    /// Wall-clock time of the whole suite.
+    pub elapsed: Duration,
+    /// Number of worker threads actually used.
+    pub workers: usize,
+}
+
+/// A fixed-size pool that executes a batch of [`Job`]s.
+///
+/// Workers are `std::thread`s claiming jobs from a shared atomic cursor;
+/// results flow back over an `mpsc` channel to the calling thread, which
+/// invokes the progress callback (no `Send`/`Sync` bound on the callback)
+/// and slots each result into its submission-order position.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteRunner {
+    workers: usize,
+}
+
+struct WorkerEvent {
+    index: usize,
+    result: Arc<FlowResult>,
+    cache_hit: bool,
+    duration: Duration,
+}
+
+impl SuiteRunner {
+    /// Creates a runner with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        SuiteRunner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Creates a runner sized by [`default_workers`].
+    pub fn with_default_workers() -> Self {
+        Self::new(default_workers())
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes `jobs` and collects the report, without progress reporting.
+    pub fn run(&self, jobs: &[Job]) -> SuiteReport {
+        self.run_with_progress(jobs, |_| {})
+    }
+
+    /// Executes `jobs`, invoking `on_event` on the calling thread as each
+    /// job finishes, and collects the report.
+    pub fn run_with_progress<F>(&self, jobs: &[Job], mut on_event: F) -> SuiteReport
+    where
+        F: FnMut(JobOutcome<'_>),
+    {
+        let start = Instant::now();
+        let total = jobs.len();
+        let workers = self.workers.min(total.max(1));
+        let cache = ResultCache::new();
+        let cursor = AtomicUsize::new(0);
+        let mut results: Vec<Option<Arc<FlowResult>>> = vec![None; total];
+
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<WorkerEvent>();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cache = &cache;
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= total {
+                        break;
+                    }
+                    let job = &jobs[index];
+                    let t0 = Instant::now();
+                    let (result, cache_hit) = cache
+                        .get_or_compute(job.key(), || run_flow(&job.aig, &job.lib, &job.config));
+                    // The receiver only disappears if the collector loop
+                    // ended early (callback panic); nothing left to report.
+                    let _ = tx.send(WorkerEvent {
+                        index,
+                        result,
+                        cache_hit,
+                        duration: t0.elapsed(),
+                    });
+                });
+            }
+            drop(tx);
+
+            for (done, event) in rx.into_iter().enumerate() {
+                on_event(JobOutcome {
+                    job: &jobs[event.index],
+                    index: event.index,
+                    completed: done + 1,
+                    total,
+                    cache_hit: event.cache_hit,
+                    duration: event.duration,
+                    stats: event.result.stats,
+                });
+                results[event.index] = Some(event.result);
+            }
+        });
+
+        SuiteReport {
+            results: results
+                .into_iter()
+                .map(|r| r.expect("every submitted job reports a result"))
+                .collect(),
+            cache: cache.stats(),
+            elapsed: start.elapsed(),
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_circuits::epfl::adder;
+    use t1map::cells::CellLibrary;
+    use t1map::flow::FlowConfig;
+
+    fn three_flow_jobs() -> Vec<Job> {
+        let lib = CellLibrary::default();
+        let aig = Arc::new(adder(4));
+        vec![
+            Job::new("adder4", "1φ", aig.clone(), lib, FlowConfig::single_phase()),
+            Job::new("adder4", "4φ", aig.clone(), lib, FlowConfig::multiphase(4)),
+            Job::new("adder4", "T1", aig, lib, FlowConfig::t1(4)),
+        ]
+    }
+
+    #[test]
+    fn empty_suite() {
+        let report = SuiteRunner::new(4).run(&[]);
+        assert!(report.results.is_empty());
+        assert_eq!(report.cache, CacheStats::default());
+    }
+
+    #[test]
+    fn progress_streams_every_job_once() {
+        let jobs = three_flow_jobs();
+        let mut seen = Vec::new();
+        let report = SuiteRunner::new(2).run_with_progress(&jobs, |o| {
+            assert_eq!(o.total, 3);
+            assert_eq!(o.completed, seen.len() + 1);
+            seen.push(o.index);
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1, 2]);
+        assert_eq!(report.results.len(), 3);
+        assert_eq!(report.workers, 2);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(SuiteRunner::new(0).workers(), 1);
+        let jobs = three_flow_jobs();
+        // More workers than jobs: the pool shrinks to the job count.
+        let report = SuiteRunner::new(64).run(&jobs);
+        assert_eq!(report.workers, 3);
+    }
+}

@@ -362,6 +362,41 @@ impl Aig {
     pub(crate) fn fanout_counts(&self) -> Vec<u32> {
         self.nodes.iter().map(|n| n.fanout).collect()
     }
+
+    /// Stable 64-bit structural digest of the network.
+    ///
+    /// Covers exactly the logical structure — node kinds with fanin literals
+    /// in construction (topological) order, plus the PI/PO interface — and
+    /// nothing else: the strash table and fanout counts do not participate.
+    /// Two identically constructed AIGs therefore hash equal across
+    /// processes and platforms, while editing a single gate changes the
+    /// digest with overwhelming probability. This is the content address
+    /// used by the `sfq-engine` result cache.
+    pub fn structural_hash(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = crate::fnv::Fnv1a::new();
+        h.write_usize(self.nodes.len());
+        for node in &self.nodes {
+            match node.kind {
+                NodeKind::Const0 => h.write_u8(0),
+                NodeKind::Input(i) => {
+                    h.write_u8(1);
+                    h.write_u32(i);
+                }
+                NodeKind::And(a, b) => {
+                    h.write_u8(2);
+                    h.write_u32(a.0);
+                    h.write_u32(b.0);
+                }
+            }
+        }
+        h.write_usize(self.pis.len());
+        h.write_usize(self.pos.len());
+        for po in &self.pos {
+            h.write_u32(po.0);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -470,6 +505,35 @@ mod tests {
         let vb = 0b0110u64;
         let out = g.eval64(&[va, vb]);
         assert_eq!(out[0] & 0xF, (va ^ vb) & 0xF);
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_sensitive() {
+        let build = |extra_gate: bool| {
+            let mut g = Aig::new();
+            let a = g.add_pi();
+            let b = g.add_pi();
+            let x = g.xor(a, b);
+            let y = if extra_gate { g.and(x, a) } else { x };
+            g.add_po(y);
+            g
+        };
+        // Same construction → same digest (the strash map does not leak in).
+        assert_eq!(
+            build(false).structural_hash(),
+            build(false).structural_hash()
+        );
+        // A one-gate edit → different digest.
+        assert_ne!(
+            build(false).structural_hash(),
+            build(true).structural_hash()
+        );
+        // PO polarity is part of the structure.
+        let mut g = build(false);
+        let h1 = g.structural_hash();
+        let po = g.pos()[0];
+        g.pos[0] = !po;
+        assert_ne!(h1, g.structural_hash());
     }
 
     #[test]

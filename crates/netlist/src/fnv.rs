@@ -1,0 +1,130 @@
+//! Stable FNV-1a hashing for content addressing.
+//!
+//! The standard-library [`std::collections::hash_map::DefaultHasher`] is
+//! randomly seeded per process, so its digests cannot serve as *content
+//! addresses* that stay valid across runs. [`Fnv1a`] is the classic
+//! Fowler–Noll–Vo 1a function over 64 bits: fully deterministic, seedless,
+//! and endian-stable (multi-byte integers are always fed little-endian).
+//! It is the hash behind [`crate::aig::Aig::structural_hash`] and the
+//! `sfq-engine` result-cache keys.
+//!
+//! This is *not* a collision-resistant cryptographic hash; it is used where
+//! accidental collisions are the only threat model (cache keys over a few
+//! dozen jobs), not where an adversary supplies inputs.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_netlist::fnv::Fnv1a;
+//! use std::hash::Hasher;
+//!
+//! let mut a = Fnv1a::new();
+//! a.write_u32(42);
+//! let mut b = Fnv1a::new();
+//! b.write_u32(42);
+//! assert_eq!(a.finish(), b.finish()); // deterministic across instances
+//! ```
+
+use std::hash::Hasher;
+
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a hasher with platform-independent integer encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Creates a hasher at the standard FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(OFFSET_BASIS)
+    }
+
+    /// Convenience: hashes a byte slice in one call.
+    pub fn hash_bytes(bytes: &[u8]) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(bytes);
+        h.finish()
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    // The default integer methods hash native-endian bytes; pin every width
+    // to little-endian so digests agree across platforms.
+    fn write_u8(&mut self, i: u8) {
+        self.write(&[i]);
+    }
+
+    fn write_u16(&mut self, i: u16) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u32(&mut self, i: u32) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_u64(&mut self, i: u64) {
+        self.write(&i.to_le_bytes());
+    }
+
+    fn write_usize(&mut self, i: usize) {
+        // usize width differs by platform; always encode as 64 bits.
+        self.write_u64(i as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference FNV-1a digests (e.g. from the IETF draft test vectors).
+        assert_eq!(Fnv1a::hash_bytes(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(Fnv1a::hash_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(Fnv1a::hash_bytes(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn integer_writes_are_width_tagged_le() {
+        let mut a = Fnv1a::new();
+        a.write_u32(0x0102_0304);
+        let mut b = Fnv1a::new();
+        b.write(&[0x04, 0x03, 0x02, 0x01]);
+        assert_eq!(a.finish(), b.finish());
+        // usize always hashes as 64 bits.
+        let mut c = Fnv1a::new();
+        c.write_usize(7);
+        let mut d = Fnv1a::new();
+        d.write_u64(7);
+        assert_eq!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        let mut a = Fnv1a::new();
+        a.write_u8(1);
+        a.write_u8(2);
+        let mut b = Fnv1a::new();
+        b.write_u8(2);
+        b.write_u8(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

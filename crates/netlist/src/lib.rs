@@ -9,7 +9,9 @@
 //! - [`cut`] — k-feasible cut enumeration with cut functions (Cong et al.,
 //!   ref \[8\] of the paper),
 //! - [`npn`] — exact NPN canonization for Boolean matching (ref \[9\]),
-//! - [`mffc`] — maximum fanout-free cones for the area-gain test of eq. (2).
+//! - [`mffc`] — maximum fanout-free cones for the area-gain test of eq. (2),
+//! - [`fnv`] — stable FNV-1a hashing behind structural digests and the
+//!   `sfq-engine` content-addressed result cache.
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@
 pub mod aig;
 pub mod aiger;
 pub mod cut;
+pub mod fnv;
 pub mod mffc;
 pub mod npn;
 pub mod transform;

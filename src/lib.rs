@@ -11,6 +11,8 @@
 //! | [`circuits`] | EPFL-like and ISCAS-like benchmark generators |
 //! | [`sim`] | pulse-level SFQ simulator with behavioural T1 cell |
 //! | [`t1map`] | the paper's flow: T1 detection, multiphase phase assignment, DFF insertion |
+//! | [`engine`] | parallel batch-flow execution with content-addressed result caching |
+//! | [`bench`] | paper benchmark suites, engine job lists, progress helper |
 //!
 //! This facade crate re-exports everything and hosts the runnable examples
 //! and cross-crate integration tests.
@@ -29,7 +31,9 @@
 //! assert!(proposed.stats.area < baseline.stats.area, "T1 wins on adders");
 //! ```
 
+pub use sfq_bench as bench;
 pub use sfq_circuits as circuits;
+pub use sfq_engine as engine;
 pub use sfq_netlist as netlist;
 pub use sfq_sim as sim;
 pub use sfq_solver as solver;

@@ -4,6 +4,7 @@
 //! sfq-t1 gen <benchmark> [width] -o out.aag      generate a benchmark circuit
 //! sfq-t1 map <in.aag|in.aig> [options]           run a mapping flow, print stats
 //! sfq-t1 verify <in.aag|in.aig> [options]        map + wave-pipelined pulse-sim check
+//! sfq-t1 suite [options]                         Table-I suite through sfq-engine
 //!
 //! options:
 //!   --phases N       number of clock phases (default 4)
@@ -12,15 +13,21 @@
 //!   --verilog FILE   write structural Verilog (with --models FILE for cell models)
 //!   --dot FILE       write a Graphviz visualization of the scheduled netlist
 //!   --waves K        number of verification waves (verify; default 8)
+//!   --small          suite: CI-scale benchmark widths
+//!   --jobs N         suite: engine worker threads (default: available parallelism)
+//!   --csv FILE       suite: write the table as CSV
 //! ```
 
 use std::process::ExitCode;
 
+use sfq_t1::bench::{csv_flag, jobs_flag, progress_line, table1_jobs, BenchmarkScale};
 use sfq_t1::circuits::{epfl, iscas};
+use sfq_t1::engine::SuiteRunner;
 use sfq_t1::netlist::aiger;
 use sfq_t1::netlist::Aig;
 use sfq_t1::t1map::cells::CellLibrary;
 use sfq_t1::t1map::flow::{run_flow, FlowConfig, PhaseEngine};
+use sfq_t1::t1map::report::{TableOne, TableRow};
 use sfq_t1::t1map::to_pulse_circuit;
 use sfq_t1::t1map::verilog::{cell_models, export, ExportOptions};
 
@@ -36,7 +43,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: sfq-t1 <gen|map|verify> ... (see --help in README)".to_string()
+    "usage: sfq-t1 <gen|map|verify|suite> ... (see --help in README)".to_string()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -44,6 +51,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("gen") => cmd_gen(&args[1..]),
         Some("map") => cmd_map(&args[1..], false),
         Some("verify") => cmd_map(&args[1..], true),
+        Some("suite") => cmd_suite(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{}", usage());
             Ok(())
@@ -75,6 +83,68 @@ fn load_aig(path: &str) -> Result<Aig, String> {
             "{path}: neither ASCII ('aag') nor binary ('aig') AIGER"
         ))
     }
+}
+
+/// Runs the full Table-I suite through the `sfq-engine` worker pool.
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let small = has_flag(args, "--small");
+    let phases: u32 = flag_value(args, "--phases")
+        .map(|v| v.parse().map_err(|e| format!("bad --phases: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    if phases < 3 {
+        return Err("suite runs the T1 flow, which needs at least 3 phases".into());
+    }
+    // Shared parsers with the bench binaries: a bare `--csv` or malformed
+    // `--jobs` is a hard error, not a silent fallback.
+    let workers = jobs_flag(args)?;
+    let csv_path = csv_flag(args)?;
+
+    let scale = if small {
+        BenchmarkScale::small()
+    } else {
+        BenchmarkScale::paper()
+    };
+    let lib = CellLibrary::default();
+    println!(
+        "Table I — multiphase clocking with T1 cells ({} scale, n = {phases} phases)\n",
+        if small { "small" } else { "paper" }
+    );
+    let jobs = table1_jobs(&scale, phases, &lib);
+    let report = SuiteRunner::new(workers).run_with_progress(&jobs, |o| {
+        progress_line(format_args!(
+            "  [{:>2}/{}] {:<14} {:>6} ANDs  {} in {:>7.1?}",
+            o.completed,
+            o.total,
+            o.job.label(),
+            o.job.aig.and_count(),
+            if o.cache_hit { "cached" } else { "mapped" },
+            o.duration
+        ));
+    });
+    let mut table = TableOne::new();
+    for (triple, job) in report.results.chunks(3).zip(jobs.iter().step_by(3)) {
+        table.push(TableRow::from_stats(
+            &job.name,
+            triple[0].stats,
+            triple[1].stats,
+            triple[2].stats,
+        ));
+    }
+    println!("\n{table}");
+    progress_line(format_args!(
+        "suite: {} jobs on {} workers in {:.1?} ({} cache hits, {} flow runs)",
+        jobs.len(),
+        report.workers,
+        report.elapsed,
+        report.cache.hits,
+        report.cache.misses
+    ));
+    if let Some(path) = csv_path {
+        std::fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("CSV written to {path}");
+    }
+    Ok(())
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {

@@ -94,6 +94,59 @@ fn baseline_flow_flag() {
 }
 
 #[test]
+fn suite_subcommand_matches_serial_run() {
+    // Parallel and serial runs must produce byte-identical CSVs (the
+    // engine orders results by submission, not completion).
+    let csv1 = tmp("suite1.csv");
+    let csv2 = tmp("suite2.csv");
+    for (jobs, csv) in [("1", &csv1), ("4", &csv2)] {
+        let out = bin()
+            .args([
+                "suite",
+                "--small",
+                "--jobs",
+                jobs,
+                "--csv",
+                csv.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run suite");
+        assert!(
+            out.status.success(),
+            "suite --jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("Average"), "{stdout}");
+    }
+    let a = std::fs::read(&csv1).expect("serial CSV written");
+    let b = std::fs::read(&csv2).expect("parallel CSV written");
+    assert_eq!(a, b, "serial and parallel CSVs are byte-identical");
+    assert!(a.starts_with(b"benchmark,"));
+    for f in [&csv1, &csv2] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn suite_flag_errors() {
+    // A bare --csv must be a hard error, not a silently dropped CSV.
+    let out = bin()
+        .args(["suite", "--small", "--csv"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--csv requires a file path"));
+    // Garbage --jobs is rejected.
+    let out = bin()
+        .args(["suite", "--small", "--jobs", "zero"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--jobs"));
+}
+
+#[test]
 fn errors_are_reported() {
     // Unknown command.
     let out = bin().arg("frobnicate").output().expect("run");
