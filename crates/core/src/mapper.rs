@@ -3,7 +3,7 @@
 //! This is the "technology mapping flow implemented in mockturtle" the paper
 //! integrates into (§III): an area-flow driven DAG covering with 1/2-input
 //! clocked cells, extended here with T1-aware covering — selected T1 groups
-//! (from [`crate::detect`]) are instantiated as multi-output T1 cells and
+//! (from [`mod@crate::detect`]) are instantiated as multi-output T1 cells and
 //! the remaining logic is covered with ordinary gates.
 //!
 //! Negated T1 operands receive explicit NOT gates (a pulse absence cannot

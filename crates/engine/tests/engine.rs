@@ -113,3 +113,35 @@ fn duplicate_jobs_share_one_computation() {
         assert!(Arc::ptr_eq(first, r), "results share one allocation");
     }
 }
+
+#[test]
+fn pre_opt_jobs_get_distinct_cache_keys() {
+    // The pre-mapping optimization stage is part of the job's content
+    // address: an optimized run must never be served a plain run's cached
+    // result (or vice versa).
+    let lib = CellLibrary::default();
+    let aig = Arc::new(epfl::adder(8));
+    let plain = Job::new("adder", "T1", aig.clone(), lib, FlowConfig::t1(4));
+    let opted = Job::new(
+        "adder",
+        "T1+opt",
+        aig.clone(),
+        lib,
+        FlowConfig::t1(4).with_pre_opt(),
+    );
+    assert_ne!(
+        plain.key(),
+        opted.key(),
+        "pre_opt must contribute to the cache key"
+    );
+    assert_eq!(
+        opted.key(),
+        CacheKey::compute(&aig, &lib, &FlowConfig::t1(4).with_pre_opt()),
+        "equal configurations agree on the key"
+    );
+    // Both flavors run side by side without sharing results.
+    let report = SuiteRunner::new(2).run(&[plain, opted]);
+    assert_eq!(report.cache.misses, 2);
+    assert_eq!(report.cache.hits, 0);
+    assert!(report.results.iter().all(|r| r.stats.gates > 0));
+}

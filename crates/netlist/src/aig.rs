@@ -179,6 +179,27 @@ impl Aig {
         Lit::new(id, false)
     }
 
+    /// Looks up what [`Aig::and`] would return for `(a, b)` **without**
+    /// creating a node: trivial simplifications are applied and the strash
+    /// table is consulted, but the network is never modified.
+    ///
+    /// Returns `None` when the AND does not exist yet — the cost probe used
+    /// by cut rewriting to price candidate subgraphs against logic that is
+    /// already present.
+    pub fn lookup_and(&self, a: Lit, b: Lit) -> Option<Lit> {
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Some(Lit::FALSE);
+        }
+        if a == Lit::TRUE {
+            return Some(b);
+        }
+        if b == Lit::TRUE || a == b {
+            return Some(a);
+        }
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.strash.get(&(a, b)).map(|&id| Lit::new(id, false))
+    }
+
     /// OR of two literals.
     pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
         !self.and(!a, !b)
@@ -534,6 +555,26 @@ mod tests {
         let po = g.pos()[0];
         g.pos[0] = !po;
         assert_ne!(h1, g.structural_hash());
+    }
+
+    #[test]
+    fn lookup_and_probes_without_mutation() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.and(a, b);
+        let before = g.len();
+        // Existing node found under both operand orders.
+        assert_eq!(g.lookup_and(a, b), Some(x));
+        assert_eq!(g.lookup_and(b, a), Some(x));
+        // Trivial simplifications answered without a node.
+        assert_eq!(g.lookup_and(a, Lit::FALSE), Some(Lit::FALSE));
+        assert_eq!(g.lookup_and(a, !a), Some(Lit::FALSE));
+        assert_eq!(g.lookup_and(Lit::TRUE, a), Some(a));
+        assert_eq!(g.lookup_and(a, a), Some(a));
+        // Absent structure reported as such, with no node created.
+        assert_eq!(g.lookup_and(!a, b), None);
+        assert_eq!(g.len(), before);
     }
 
     #[test]

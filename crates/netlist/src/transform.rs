@@ -1,8 +1,13 @@
 //! Network transformations and statistics.
 //!
-//! - [`cleanup`] — rebuilds an AIG keeping only the logic reachable from the
-//!   primary outputs (dead-node sweep + re-strashing), the standard step
-//!   before mapping;
+//! - [`sweep`] — rebuilds an AIG keeping only the logic reachable from the
+//!   primary outputs (dead-node sweep, constant propagation through the
+//!   builder's simplification rules, and re-strashing). This is the single
+//!   implementation behind both [`cleanup`] and the `sweep` pass of the
+//!   `sfq-opt` pass manager (the pass lives upstream and delegates here
+//!   because the crate graph points `sfq-opt → sfq-netlist`);
+//! - [`cleanup`] — the historical name for the same operation, kept as a
+//!   thin alias so existing callers don't break;
 //! - [`NetworkStats`] — summary numbers for reports and regression tests.
 //!
 //! # Examples
@@ -29,8 +34,9 @@ use std::fmt;
 
 /// Rebuilds `aig` keeping only logic in the transitive fanin of the primary
 /// outputs. Input and output order is preserved; structural hashing may
-/// merge nodes that became equivalent through the copy.
-pub fn cleanup(aig: &Aig) -> Aig {
+/// merge nodes that became equivalent through the copy, and constants feed
+/// through the builder's simplification rules (constant propagation).
+pub fn sweep(aig: &Aig) -> Aig {
     let mut out = Aig::new();
     let mut map: HashMap<NodeId, Lit> = HashMap::new();
     map.insert(NodeId::CONST0, Lit::FALSE);
@@ -72,6 +78,14 @@ pub fn cleanup(aig: &Aig) -> Aig {
         out.add_po(base.with_complement(base.is_complement() ^ po.is_complement()));
     }
     out
+}
+
+/// The historical name of [`sweep`], kept for source compatibility. The
+/// `sfq-opt` optimization subsystem exposes the same operation as its
+/// `sweep` pass; this function and that pass share the one implementation
+/// above.
+pub fn cleanup(aig: &Aig) -> Aig {
+    sweep(aig)
 }
 
 /// Summary statistics of an AIG.

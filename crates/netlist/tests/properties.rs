@@ -38,6 +38,20 @@ fn build_aig(script: &[u8], num_pis: usize) -> Aig {
     g
 }
 
+/// The `index`-th (0..24) permutation of `[0, 1, 2, 3]`, via Lehmer-code
+/// decoding, so a proptest integer maps uniformly onto all permutations.
+fn nth_permutation4(index: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..4).collect();
+    let mut idx = index % 24;
+    let mut out = Vec::with_capacity(4);
+    for radix in (1..=4).rev() {
+        let fact: usize = (1..radix).product();
+        out.push(pool.remove(idx / fact));
+        idx %= fact;
+    }
+    out
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
@@ -76,6 +90,31 @@ proptest! {
                 g = g.flip_var(v);
             }
         }
+        if out_neg {
+            g = !g;
+        }
+        prop_assert_eq!(npn_canonical(f).canon, npn_canonical(g).canon);
+    }
+
+    #[test]
+    fn npn_canonical_4var_invariant_under_perm_and_neg(
+        bits in any::<u64>(),
+        mask in 0u8..16,
+        perm_index in 0usize..24,
+        out_neg in any::<bool>(),
+    ) {
+        // Round-trip: any NPN transform of a random 4-input function (input
+        // negations, an arbitrary input permutation, optional output
+        // negation) lands in the same canonical class as the original.
+        let f = TruthTable::from_bits(4, bits);
+        let perm = nth_permutation4(perm_index);
+        let mut g = f;
+        for v in 0..4 {
+            if mask >> v & 1 == 1 {
+                g = g.flip_var(v);
+            }
+        }
+        g = g.permute(&perm);
         if out_neg {
             g = !g;
         }

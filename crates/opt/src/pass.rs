@@ -1,0 +1,620 @@
+//! The pass manager: the [`OptPass`] trait, per-pass statistics, the
+//! [`Pipeline`] runner with its guarded convergence loop, and the
+//! fingerprinted [`OptConfig`] that flows and caches key on.
+
+use crate::cec::{check_equivalence, CecConfig, CecStats, CecVerdict};
+use crate::passes::{balance_network, strash_network, sweep_network};
+use crate::rewrite::{rewrite_network, RewriteConfig};
+use sfq_netlist::aig::Aig;
+use std::fmt;
+use std::hash::Hasher;
+
+/// Node/level deltas of one pass execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassStats {
+    /// Pass name (as shown in stats tables).
+    pub pass: &'static str,
+    /// AND count before the pass.
+    pub nodes_before: usize,
+    /// AND count after the pass.
+    pub nodes_after: usize,
+    /// Depth before the pass.
+    pub depth_before: u32,
+    /// Depth after the pass.
+    pub depth_after: u32,
+    /// Pass-specific application count (nodes merged/removed, trees
+    /// rebuilt, rewrite sites committed).
+    pub applied: usize,
+}
+
+impl PassStats {
+    /// Signed node delta (negative = reduction).
+    pub fn node_delta(&self) -> i64 {
+        self.nodes_after as i64 - self.nodes_before as i64
+    }
+}
+
+impl fmt::Display for PassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<8} {:>6} -> {:<6} nodes  {:>3} -> {:<3} depth  ({} applied)",
+            self.pass,
+            self.nodes_before,
+            self.nodes_after,
+            self.depth_before,
+            self.depth_after,
+            self.applied
+        )
+    }
+}
+
+/// A network optimization pass.
+pub trait OptPass {
+    /// Short stable name (also the `--passes` spelling).
+    fn name(&self) -> &'static str;
+    /// Transforms `aig` in place, returning the run's statistics.
+    fn run(&self, aig: &mut Aig) -> PassStats;
+}
+
+fn stats_around(
+    pass: &'static str,
+    aig: &mut Aig,
+    f: impl FnOnce(&Aig) -> (Aig, usize),
+) -> PassStats {
+    let nodes_before = aig.and_count();
+    let depth_before = aig.depth();
+    let (next, applied) = f(aig);
+    *aig = next;
+    PassStats {
+        pass,
+        nodes_before,
+        nodes_after: aig.and_count(),
+        depth_before,
+        depth_after: aig.depth(),
+        applied,
+    }
+}
+
+/// Structural hashing / deduplication pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Strash;
+
+impl OptPass for Strash {
+    fn name(&self) -> &'static str {
+        "strash"
+    }
+    fn run(&self, aig: &mut Aig) -> PassStats {
+        stats_around("strash", aig, strash_network)
+    }
+}
+
+/// Dangling-node sweep with constant propagation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sweep;
+
+impl OptPass for Sweep {
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+    fn run(&self, aig: &mut Aig) -> PassStats {
+        stats_around("sweep", aig, sweep_network)
+    }
+}
+
+/// Depth-oriented AND-tree rebalancing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Balance;
+
+impl OptPass for Balance {
+    fn name(&self) -> &'static str {
+        "balance"
+    }
+    fn run(&self, aig: &mut Aig) -> PassStats {
+        stats_around("balance", aig, balance_network)
+    }
+}
+
+/// Cut-based NPN rewriting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Rewrite {
+    /// Enumeration parameters.
+    pub config: RewriteConfig,
+}
+
+impl OptPass for Rewrite {
+    fn name(&self) -> &'static str {
+        "rewrite"
+    }
+    fn run(&self, aig: &mut Aig) -> PassStats {
+        stats_around("rewrite", aig, |g| rewrite_network(g, &self.config))
+    }
+}
+
+/// Name of a concrete pass — the configuration-level (and CLI-level)
+/// currency, kept separate from the trait objects so [`OptConfig`] stays
+/// plain cloneable data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// [`Strash`].
+    Strash,
+    /// [`Sweep`].
+    Sweep,
+    /// [`Rewrite`].
+    Rewrite,
+    /// [`Balance`].
+    Balance,
+}
+
+impl PassKind {
+    /// Every pass, in the default pipeline order.
+    pub const ALL: [PassKind; 4] = [
+        PassKind::Strash,
+        PassKind::Sweep,
+        PassKind::Rewrite,
+        PassKind::Balance,
+    ];
+
+    /// The pass's `--passes` spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassKind::Strash => "strash",
+            PassKind::Sweep => "sweep",
+            PassKind::Rewrite => "rewrite",
+            PassKind::Balance => "balance",
+        }
+    }
+
+    /// Parses a single pass name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the list of known passes on an unknown name.
+    pub fn parse(s: &str) -> Result<PassKind, String> {
+        PassKind::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| {
+                let known: Vec<&str> = PassKind::ALL.iter().map(|p| p.name()).collect();
+                format!("unknown pass '{s}' (known passes: {})", known.join(", "))
+            })
+    }
+
+    /// Stable fingerprint tag.
+    fn tag(self) -> u8 {
+        match self {
+            PassKind::Strash => 0,
+            PassKind::Sweep => 1,
+            PassKind::Rewrite => 2,
+            PassKind::Balance => 3,
+        }
+    }
+
+    fn instantiate(self) -> Box<dyn OptPass + Send + Sync> {
+        match self {
+            PassKind::Strash => Box::new(Strash),
+            PassKind::Sweep => Box::new(Sweep),
+            PassKind::Rewrite => Box::new(Rewrite::default()),
+            PassKind::Balance => Box::new(Balance),
+        }
+    }
+}
+
+/// Parses a comma-separated pass list (the CLI `--passes` syntax).
+///
+/// # Errors
+///
+/// Propagates [`PassKind::parse`] errors and rejects an empty list.
+pub fn parse_passes(s: &str) -> Result<Vec<PassKind>, String> {
+    let passes: Result<Vec<PassKind>, String> = s
+        .split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(PassKind::parse)
+        .collect();
+    let passes = passes?;
+    if passes.is_empty() {
+        return Err("--passes requires at least one pass name".into());
+    }
+    Ok(passes)
+}
+
+/// Configuration of the pre-mapping optimization stage.
+///
+/// Plain data (no trait objects), so it can ride inside
+/// `t1map::flow::FlowConfig` and fingerprint into `sfq-engine` cache keys:
+/// two jobs that differ only in their optimization stage hash to different
+/// content addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Master switch; a disabled stage leaves the network untouched.
+    pub enabled: bool,
+    /// Pass sequence of one round.
+    pub passes: Vec<PassKind>,
+    /// Iterate the sequence to convergence (guarded; see
+    /// [`Pipeline::run_until_fixpoint`]).
+    pub fixpoint: bool,
+    /// Round limit for the convergence loop.
+    pub max_rounds: usize,
+}
+
+impl OptConfig {
+    /// The disabled stage (flow default: map the network exactly as given).
+    pub fn disabled() -> Self {
+        OptConfig {
+            enabled: false,
+            passes: PassKind::ALL.to_vec(),
+            fixpoint: true,
+            max_rounds: 8,
+        }
+    }
+
+    /// The standard enabled stage: every pass, run to fixpoint.
+    pub fn standard() -> Self {
+        OptConfig {
+            enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// Canonical encoding of the configuration into `h` (versioned, fixed
+    /// field order) — the `sfq-engine` cache-key contribution.
+    pub fn fingerprint(&self, h: &mut impl Hasher) {
+        h.write_u8(1); // encoding version
+        h.write_u8(self.enabled as u8);
+        h.write_usize(self.passes.len());
+        for p in &self.passes {
+            h.write_u8(p.tag());
+        }
+        h.write_u8(self.fixpoint as u8);
+        h.write_usize(self.max_rounds);
+    }
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Outcome of a pipeline run: per-round, per-pass statistics plus the
+/// end-to-end deltas.
+#[derive(Debug, Clone)]
+pub struct OptReport {
+    /// Statistics of every executed pass, grouped by round.
+    pub rounds: Vec<Vec<PassStats>>,
+    /// Whether the convergence loop stopped by itself (rather than hitting
+    /// the round limit). Single-shot runs report `true`.
+    pub converged: bool,
+    /// AND count before optimization.
+    pub nodes_before: usize,
+    /// AND count after optimization.
+    pub nodes_after: usize,
+    /// Depth before optimization.
+    pub depth_before: u32,
+    /// Depth after optimization.
+    pub depth_after: u32,
+}
+
+impl OptReport {
+    /// Signed node delta (negative = reduction).
+    pub fn node_delta(&self) -> i64 {
+        self.nodes_after as i64 - self.nodes_before as i64
+    }
+}
+
+/// A configured sequence of passes.
+pub struct Pipeline {
+    passes: Vec<Box<dyn OptPass + Send + Sync>>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from explicit pass objects.
+    pub fn new(passes: Vec<Box<dyn OptPass + Send + Sync>>) -> Self {
+        Pipeline { passes }
+    }
+
+    /// Builds a pipeline from pass names.
+    pub fn from_kinds(kinds: &[PassKind]) -> Self {
+        Pipeline::new(kinds.iter().map(|k| k.instantiate()).collect())
+    }
+
+    /// Builds the pipeline described by `config` (ignoring its `enabled`
+    /// and `fixpoint` switches — those select *whether/how* callers run it).
+    pub fn from_config(config: &OptConfig) -> Self {
+        Pipeline::from_kinds(&config.passes)
+    }
+
+    /// Runs every pass once, in order.
+    pub fn run(&self, aig: &mut Aig) -> Vec<PassStats> {
+        self.passes.iter().map(|p| p.run(aig)).collect()
+    }
+
+    /// Runs the pass sequence repeatedly until no round improves the
+    /// network, up to `max_rounds` rounds.
+    ///
+    /// The loop is *guarded*: a round whose result has more nodes or more
+    /// depth than it started with is rolled back and the loop stops, so the
+    /// final network never has more nodes or depth than the input — the
+    /// invariant `opt --fixpoint` and the flow's pre-mapping stage rely on.
+    pub fn run_until_fixpoint(&self, aig: &mut Aig, max_rounds: usize) -> OptReport {
+        let nodes_before = aig.and_count();
+        let depth_before = aig.depth();
+        let mut rounds = Vec::new();
+        let mut converged = false;
+        for _ in 0..max_rounds {
+            let prev_nodes = aig.and_count();
+            let prev_depth = aig.depth();
+            let snapshot = aig.clone();
+            let stats = self.run(aig);
+            let nodes = aig.and_count();
+            let depth = aig.depth();
+            if nodes > prev_nodes || depth > prev_depth {
+                *aig = snapshot; // guard: roll the regression back
+                converged = true;
+                break;
+            }
+            rounds.push(stats);
+            if nodes == prev_nodes && depth == prev_depth {
+                converged = true;
+                break;
+            }
+        }
+        OptReport {
+            rounds,
+            converged,
+            nodes_before,
+            nodes_after: aig.and_count(),
+            depth_before,
+            depth_after: aig.depth(),
+        }
+    }
+}
+
+/// Runs the optimization stage described by `config` on a copy of `aig`.
+///
+/// The convenience entry point used by `t1map::flow::run_flow` and the CLI:
+/// a disabled config returns an untouched copy with an empty report.
+pub fn optimize(aig: &Aig, config: &OptConfig) -> (Aig, OptReport) {
+    let mut g = aig.clone();
+    if !config.enabled {
+        let report = OptReport {
+            rounds: Vec::new(),
+            converged: true,
+            nodes_before: g.and_count(),
+            nodes_after: g.and_count(),
+            depth_before: g.depth(),
+            depth_after: g.depth(),
+        };
+        return (g, report);
+    }
+    let pipeline = Pipeline::from_config(config);
+    let report = if config.fixpoint {
+        pipeline.run_until_fixpoint(&mut g, config.max_rounds)
+    } else {
+        let nodes_before = g.and_count();
+        let depth_before = g.depth();
+        let stats = pipeline.run(&mut g);
+        OptReport {
+            rounds: vec![stats],
+            converged: true,
+            nodes_before,
+            nodes_after: g.and_count(),
+            depth_before,
+            depth_after: g.depth(),
+        }
+    };
+    (g, report)
+}
+
+/// Outcome of [`optimize_verified`]: the optimized network plus the
+/// verification verdict of the whole run.
+#[derive(Debug, Clone)]
+pub struct VerifiedRun {
+    /// The optimized network (the last *verified* state on a mismatch).
+    pub aig: Aig,
+    /// Per-round, per-pass statistics, as in [`optimize`].
+    pub report: OptReport,
+    /// [`CecVerdict::Equivalent`] only if **every** executed pass was
+    /// proven equivalent to its input; a counterexample identifies the
+    /// first pass that broke the function.
+    pub verdict: CecVerdict,
+    /// Name of the pass that failed verification, if any.
+    pub failed_pass: Option<&'static str>,
+    /// Aggregated CEC counters over all stage checks.
+    pub cec: CecStats,
+    /// Number of pass executions that were equivalence-checked.
+    pub checked_stages: usize,
+}
+
+/// [`optimize`] with the verification guard engaged: every executed pass is
+/// equivalence-checked against its input network, and the results chain by
+/// transitivity into an end-to-end proof that the final network computes
+/// the subject functions.
+///
+/// Checking adjacent stages (rather than original vs. final once) is what
+/// keeps the SAT work tractable at paper scale: consecutive networks differ
+/// only in local cones, which the CEC sweep discharges with small
+/// window-bounded queries instead of one monolithic miter across several
+/// optimization rounds of structural drift.
+///
+/// On a mismatch the run stops at the failing pass and returns the last
+/// verified network together with the counterexample.
+pub fn optimize_verified(subject: &Aig, config: &OptConfig, cec: &CecConfig) -> VerifiedRun {
+    let mut g = subject.clone();
+    let nodes_before = g.and_count();
+    let depth_before = g.depth();
+    let mut rounds = Vec::new();
+    let mut agg = CecStats::default();
+    let mut checked_stages = 0usize;
+    let mut verdict = CecVerdict::Equivalent;
+    let mut failed_pass = None;
+    let mut converged = true;
+
+    let pipeline = Pipeline::from_config(config);
+    let max_rounds = match (config.enabled, config.fixpoint) {
+        (false, _) => 0,
+        (true, false) => 1,
+        (true, true) => config.max_rounds,
+    };
+    'rounds: for round in 0..max_rounds {
+        let prev_nodes = g.and_count();
+        let prev_depth = g.depth();
+        let snapshot = g.clone();
+        let mut stats = Vec::new();
+        for pass in &pipeline.passes {
+            let before = g.clone();
+            let s = pass.run(&mut g);
+            checked_stages += 1;
+            match check_equivalence(&before, &g, cec) {
+                Ok(out) => {
+                    agg.absorb(&out.stats);
+                    match out.verdict {
+                        CecVerdict::Equivalent => {}
+                        CecVerdict::NotEquivalent(cex) => {
+                            // A pass broke the function: stop on the last
+                            // verified network and report the witness.
+                            verdict = CecVerdict::NotEquivalent(cex);
+                            failed_pass = Some(s.pass);
+                            g = before;
+                            stats.push(s);
+                            rounds.push(stats);
+                            break 'rounds;
+                        }
+                        CecVerdict::Unknown => {
+                            // Budget ran out: keep optimizing, but the run
+                            // as a whole is no longer fully proven.
+                            if verdict == CecVerdict::Equivalent {
+                                verdict = CecVerdict::Unknown;
+                                failed_pass = Some(s.pass);
+                            }
+                        }
+                    }
+                }
+                Err(_) => {
+                    // A pass changed the PI/PO interface — a contract
+                    // violation no counterexample can express.
+                    verdict = CecVerdict::Unknown;
+                    failed_pass = Some(s.pass);
+                    g = before;
+                    stats.push(s);
+                    rounds.push(stats);
+                    break 'rounds;
+                }
+            }
+            stats.push(s);
+        }
+        if !config.fixpoint {
+            rounds.push(stats);
+            break;
+        }
+        let (nodes, depth) = (g.and_count(), g.depth());
+        if nodes > prev_nodes || depth > prev_depth {
+            g = snapshot; // same guard as Pipeline::run_until_fixpoint
+            break;
+        }
+        rounds.push(stats);
+        if nodes == prev_nodes && depth == prev_depth {
+            break;
+        }
+        converged = round + 1 < max_rounds;
+    }
+
+    VerifiedRun {
+        report: OptReport {
+            rounds,
+            converged,
+            nodes_before,
+            nodes_after: g.and_count(),
+            depth_before,
+            depth_after: g.depth(),
+        },
+        aig: g,
+        verdict,
+        failed_pass,
+        cec: agg,
+        checked_stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfq_netlist::fnv::Fnv1a;
+    use std::hash::Hasher;
+
+    fn fp(cfg: &OptConfig) -> u64 {
+        let mut h = Fnv1a::new();
+        cfg.fingerprint(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn parse_pass_lists() {
+        assert_eq!(
+            parse_passes("strash,sweep,rewrite,balance").unwrap(),
+            PassKind::ALL.to_vec()
+        );
+        assert_eq!(
+            parse_passes(" balance , sweep ").unwrap(),
+            vec![PassKind::Balance, PassKind::Sweep]
+        );
+        let err = parse_passes("strash,frobnicate").unwrap_err();
+        assert!(
+            err.contains("frobnicate") && err.contains("balance"),
+            "{err}"
+        );
+        assert!(parse_passes(" , ").is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let off = OptConfig::disabled();
+        let on = OptConfig::standard();
+        assert_ne!(fp(&off), fp(&on), "enabled bit must key");
+        let mut reordered = OptConfig::standard();
+        reordered.passes = vec![PassKind::Balance, PassKind::Rewrite];
+        assert_ne!(fp(&on), fp(&reordered), "pass list must key");
+        let mut single = OptConfig::standard();
+        single.fixpoint = false;
+        assert_ne!(fp(&on), fp(&single), "fixpoint flag must key");
+        assert_eq!(fp(&OptConfig::standard()), fp(&OptConfig::standard()));
+    }
+
+    #[test]
+    fn fixpoint_never_regresses() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let m = g.maj3(a, b, c);
+        let x = g.xor3(a, b, c);
+        g.add_po(m);
+        g.add_po(x);
+        let (nodes0, depth0) = (g.and_count(), g.depth());
+        let pipeline = Pipeline::from_config(&OptConfig::standard());
+        let mut opt = g.clone();
+        let report = pipeline.run_until_fixpoint(&mut opt, 8);
+        assert!(report.nodes_after <= nodes0);
+        assert!(report.depth_after <= depth0);
+        assert!(report.converged);
+        assert!(report.nodes_after < nodes0, "maj3 must shrink");
+        for i in 0..8u32 {
+            let bits = [i & 1 == 1, i >> 1 & 1 == 1, i >> 2 & 1 == 1];
+            assert_eq!(g.eval(&bits), opt.eval(&bits), "input {i}");
+        }
+    }
+
+    #[test]
+    fn disabled_stage_is_identity() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.xor(a, b);
+        g.add_po(x);
+        let (out, report) = optimize(&g, &OptConfig::disabled());
+        assert_eq!(out.and_count(), g.and_count());
+        assert!(report.rounds.is_empty());
+        assert_eq!(report.node_delta(), 0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Crate-internal helpers shared by the reconstruction passes and the CEC
+//! sweep.
+
+use sfq_netlist::aig::Lit;
+
+/// Follows an old-network literal through a node-indexed translation map,
+/// composing the edge complement with the mapped literal's complement.
+///
+/// # Panics
+///
+/// Panics if the literal's node has no mapping yet — reconstruction always
+/// processes nodes in topological order, so a miss is a traversal bug.
+pub(crate) fn mapped(map: &[Option<Lit>], l: Lit) -> Lit {
+    let base = map[l.node().index()].expect("fanin mapped before use");
+    base.with_complement(base.is_complement() ^ l.is_complement())
+}

@@ -37,5 +37,5 @@ pub use cp::{CpModel, CpSolution, CpVar};
 pub use diffcon::DifferenceSystem;
 pub use linear::{Constraint, LinExpr, Sense, VarId};
 pub use milp::{MilpError, MilpProblem, MilpSolution};
-pub use sat::{SatLit, SatSolver, SatVar};
+pub use sat::{SatLit, SatSolver, SatVar, SolveOutcome};
 pub use simplex::{solve_lp, LpOutcome, LpSolution};

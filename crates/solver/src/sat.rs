@@ -103,6 +103,17 @@ impl Value {
 
 type ClauseRef = usize;
 
+/// Result of a (possibly budget-limited) solve call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// Satisfiable, with a full model indexed by [`SatVar::index`].
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out before an answer was found.
+    Unknown,
+}
+
 /// CDCL SAT solver.
 #[derive(Debug, Default)]
 pub struct SatSolver {
@@ -378,13 +389,30 @@ impl SatSolver {
     /// Solves the instance. Returns `Some(model)` (indexed by
     /// [`SatVar::index`]) if satisfiable, `None` if unsatisfiable.
     pub fn solve(&mut self) -> Option<Vec<bool>> {
+        match self.solve_limited(None) {
+            SolveOutcome::Sat(model) => Some(model),
+            SolveOutcome::Unsat => None,
+            SolveOutcome::Unknown => unreachable!("unbounded solve cannot time out"),
+        }
+    }
+
+    /// Solves with an optional conflict budget.
+    ///
+    /// With `max_conflicts = None` this is exactly [`SatSolver::solve`].
+    /// With a budget, the search gives up after that many additional
+    /// conflicts and returns [`SolveOutcome::Unknown`], leaving the solver
+    /// at decision level zero with its learnt clauses intact, so callers
+    /// (e.g. SAT sweeping in `sfq-opt`) can treat a blown budget as "not
+    /// proven" and move on — or call again to continue with a fresh budget.
+    pub fn solve_limited(&mut self, max_conflicts: Option<u64>) -> SolveOutcome {
         if !self.ok {
-            return None;
+            return SolveOutcome::Unsat;
         }
         if self.propagate().is_some() {
             self.ok = false;
-            return None;
+            return SolveOutcome::Unsat;
         }
+        let budget = max_conflicts.map(|m| self.conflicts.saturating_add(m));
         let mut restart_count = 0u32;
         let mut conflicts_until_restart = luby(restart_count) * 100;
         loop {
@@ -392,7 +420,11 @@ impl SatSolver {
                 self.conflicts += 1;
                 if self.trail_lim.is_empty() {
                     self.ok = false;
-                    return None;
+                    return SolveOutcome::Unsat;
+                }
+                if budget.is_some_and(|b| self.conflicts >= b) {
+                    self.backtrack(0);
+                    return SolveOutcome::Unknown;
                 }
                 let (learnt, bj) = self.analyze(confl);
                 self.backtrack(bj);
@@ -420,7 +452,9 @@ impl SatSolver {
                 match self.pick_branch() {
                     None => {
                         // Full assignment: extract model.
-                        return Some(self.assign.iter().map(|&v| v == Value::True).collect());
+                        return SolveOutcome::Sat(
+                            self.assign.iter().map(|&v| v == Value::True).collect(),
+                        );
                     }
                     Some(l) => {
                         self.decisions += 1;
@@ -623,6 +657,45 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn solve_limited_gives_up_then_finishes() {
+        // PHP(5,4) needs plenty of conflicts: a one-conflict budget must
+        // come back Unknown, and an unbounded follow-up call on the same
+        // solver must still prove UNSAT.
+        let n = 5;
+        let mut s = SatSolver::new();
+        let mut x = vec![vec![SatVar(0); n - 1]; n];
+        for row in x.iter_mut() {
+            for slot in row.iter_mut() {
+                *slot = s.new_var();
+            }
+        }
+        for row in &x {
+            s.add_clause(row.iter().map(|&v| SatLit::pos(v)));
+        }
+        for (p1, row1) in x.iter().enumerate() {
+            for row2 in &x[p1 + 1..] {
+                for (&a, &b) in row1.iter().zip(row2) {
+                    s.add_clause([SatLit::neg(a), SatLit::neg(b)]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(Some(1)), SolveOutcome::Unknown);
+        assert_eq!(s.solve_limited(None), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn solve_limited_sat_matches_solve() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause([SatLit::pos(v[0]), SatLit::pos(v[1])]);
+        s.add_clause([SatLit::neg(v[0]), SatLit::pos(v[2])]);
+        match s.solve_limited(Some(10_000)) {
+            SolveOutcome::Sat(m) => assert!((m[0] && m[2]) || m[1]),
+            other => panic!("expected SAT, got {other:?}"),
         }
     }
 

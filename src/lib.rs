@@ -10,9 +10,10 @@
 //! | [`solver`] | simplex LP, branch-and-bound MILP, CDCL SAT, CP, difference constraints |
 //! | [`circuits`] | EPFL-like and ISCAS-like benchmark generators |
 //! | [`sim`] | pulse-level SFQ simulator with behavioural T1 cell |
+//! | [`opt`] | pass-manager-driven AIG optimization with SAT-checked equivalence |
 //! | [`t1map`] | the paper's flow: T1 detection, multiphase phase assignment, DFF insertion |
 //! | [`engine`] | parallel batch-flow execution with content-addressed result caching |
-//! | [`bench`] | paper benchmark suites, engine job lists, progress helper |
+//! | [`mod@bench`] | paper benchmark suites, engine job lists, progress helper |
 //!
 //! This facade crate re-exports everything and hosts the runnable examples
 //! and cross-crate integration tests.
@@ -35,6 +36,7 @@ pub use sfq_bench as bench;
 pub use sfq_circuits as circuits;
 pub use sfq_engine as engine;
 pub use sfq_netlist as netlist;
+pub use sfq_opt as opt;
 pub use sfq_sim as sim;
 pub use sfq_solver as solver;
 pub use t1map;

@@ -4,27 +4,39 @@
 //! sfq-t1 gen <benchmark> [width] -o out.aag      generate a benchmark circuit
 //! sfq-t1 map <in.aag|in.aig> [options]           run a mapping flow, print stats
 //! sfq-t1 verify <in.aag|in.aig> [options]        map + wave-pipelined pulse-sim check
+//! sfq-t1 opt <benchmark|in.aag> [width] [opts]   pre-mapping AIG optimization (sfq-opt)
 //! sfq-t1 suite [options]                         Table-I suite through sfq-engine
 //!
 //! options:
 //!   --phases N       number of clock phases (default 4)
 //!   --no-t1          disable T1 detection (baseline flow)
 //!   --exact          exact MILP phase assignment (small circuits)
+//!   --pre-opt        map/verify/suite: run the sfq-opt stage before mapping
 //!   --verilog FILE   write structural Verilog (with --models FILE for cell models)
 //!   --dot FILE       write a Graphviz visualization of the scheduled netlist
 //!   --waves K        number of verification waves (verify; default 8)
 //!   --small          suite: CI-scale benchmark widths
 //!   --jobs N         suite: engine worker threads (default: available parallelism)
 //!   --csv FILE       suite: write the table as CSV
+//!
+//! opt options:
+//!   --passes LIST    comma-separated pass sequence (default strash,sweep,rewrite,balance)
+//!   --fixpoint       iterate the sequence to convergence (guarded)
+//!   --rounds N       fixpoint round limit (default 8)
+//!   --verify         CEC the result against the input (simulation + SAT miter)
+//!   -o FILE          write the optimized network as AIGER
 //! ```
 
 use std::process::ExitCode;
 
-use sfq_t1::bench::{csv_flag, jobs_flag, progress_line, table1_jobs, BenchmarkScale};
+use sfq_t1::bench::{
+    csv_flag, jobs_flag, pre_opt_flag, progress_line, table1_jobs_with, BenchmarkScale,
+};
 use sfq_t1::circuits::{epfl, iscas};
 use sfq_t1::engine::SuiteRunner;
 use sfq_t1::netlist::aiger;
 use sfq_t1::netlist::Aig;
+use sfq_t1::opt::{optimize, optimize_verified, parse_passes, CecConfig, CecVerdict, OptConfig};
 use sfq_t1::t1map::cells::CellLibrary;
 use sfq_t1::t1map::flow::{run_flow, FlowConfig, PhaseEngine};
 use sfq_t1::t1map::report::{TableOne, TableRow};
@@ -43,7 +55,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: sfq-t1 <gen|map|verify|suite> ... (see --help in README)".to_string()
+    "usage: sfq-t1 <gen|map|verify|opt|suite> ... (see --help in README)".to_string()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -51,6 +63,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("gen") => cmd_gen(&args[1..]),
         Some("map") => cmd_map(&args[1..], false),
         Some("verify") => cmd_map(&args[1..], true),
+        Some("opt") => cmd_opt(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{}", usage());
@@ -85,6 +98,176 @@ fn load_aig(path: &str) -> Result<Aig, String> {
     }
 }
 
+/// Benchmark names `gen` and `opt` accept, with their default widths.
+const KNOWN_BENCHMARKS: [(&str, usize); 8] = [
+    ("adder", 128),
+    ("multiplier", 32),
+    ("square", 32),
+    ("sin", 16),
+    ("log2", 32),
+    ("voter", 255),
+    ("c6288", 0),
+    ("c7552", 0),
+];
+
+/// Builds the named benchmark at `width` (0 = the benchmark's default).
+///
+/// Unknown names are a hard error listing every known benchmark, so a typo
+/// can never silently fall through to another circuit.
+fn build_benchmark(name: &str, width: usize) -> Result<Aig, String> {
+    let default = KNOWN_BENCHMARKS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, w)| w)
+        .ok_or_else(|| {
+            let names: Vec<&str> = KNOWN_BENCHMARKS.iter().map(|&(n, _)| n).collect();
+            format!(
+                "unknown benchmark '{name}' (known benchmarks: {})",
+                names.join(", ")
+            )
+        })?;
+    let width = if width == 0 { default } else { width };
+    Ok(match name {
+        "adder" => epfl::adder(width),
+        "multiplier" => epfl::multiplier(width),
+        "square" => epfl::square(width),
+        "sin" => epfl::sin(width),
+        "log2" => epfl::log2(width),
+        "voter" => epfl::voter(width),
+        "c6288" => iscas::c6288_like(),
+        "c7552" => iscas::c7552_like(),
+        _ => unreachable!("name validated above"),
+    })
+}
+
+/// Resolves the `opt` subject: a known benchmark name or an AIGER file.
+fn load_subject(name: &str, width: usize) -> Result<Aig, String> {
+    if KNOWN_BENCHMARKS.iter().any(|(n, _)| *n == name) {
+        build_benchmark(name, width)
+    } else if std::path::Path::new(name).exists() {
+        load_aig(name)
+    } else {
+        let names: Vec<&str> = KNOWN_BENCHMARKS.iter().map(|&(n, _)| n).collect();
+        Err(format!(
+            "'{name}' is neither a known benchmark ({}) nor an existing AIGER file",
+            names.join(", ")
+        ))
+    }
+}
+
+/// Runs the `sfq-opt` pipeline standalone: per-pass stats table, optional
+/// fixpoint iteration, optional SAT-checked equivalence, optional export.
+fn cmd_opt(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("opt: benchmark name or AIGER file required")?;
+    let width: usize = args
+        .get(1)
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.parse().map_err(|e| format!("bad width: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let aig = load_subject(name, width)?;
+
+    let mut config = OptConfig::standard();
+    if let Some(list) = flag_value(args, "--passes") {
+        config.passes = parse_passes(list)?;
+    }
+    config.fixpoint = has_flag(args, "--fixpoint");
+    if let Some(r) = flag_value(args, "--rounds") {
+        config.max_rounds = r
+            .parse::<usize>()
+            .ok()
+            .filter(|&r| r >= 1)
+            .ok_or_else(|| format!("bad --rounds: '{r}' is not a positive integer"))?;
+    }
+
+    let verify = has_flag(args, "--verify");
+    let (optimized, report, verified) = if verify {
+        // Pass-by-pass equivalence checking, chained by transitivity into
+        // an end-to-end proof (tractable even at paper scale, where a
+        // single original-vs-final miter would not be).
+        let run = optimize_verified(&aig, &config, &CecConfig::default());
+        (run.aig.clone(), run.report.clone(), Some(run))
+    } else {
+        let (optimized, report) = optimize(&aig, &config);
+        (optimized, report, None)
+    };
+    println!(
+        "{name}: {} PIs, {} POs, {} ANDs, depth {}",
+        aig.pi_count(),
+        aig.po_count(),
+        aig.and_count(),
+        aig.depth()
+    );
+    for (round, stats) in report.rounds.iter().enumerate() {
+        for s in stats {
+            println!("  round {:>2}  {s}", round + 1);
+        }
+    }
+    let pct = if report.nodes_before > 0 {
+        100.0 * report.node_delta() as f64 / report.nodes_before as f64
+    } else {
+        0.0
+    };
+    println!(
+        "total: {} -> {} nodes ({pct:+.1}%), depth {} -> {}{}",
+        report.nodes_before,
+        report.nodes_after,
+        report.depth_before,
+        report.depth_after,
+        if config.fixpoint && !report.converged {
+            " (round limit reached)"
+        } else {
+            ""
+        }
+    );
+
+    if let Some(run) = verified {
+        match run.verdict {
+            CecVerdict::Equivalent => println!(
+                "verified equivalent: {} pass checks, {} simulation words, {} sweep merges, \
+                 {} SAT queries{}",
+                run.checked_stages,
+                run.cec.sim_words,
+                run.cec.sweep_merges,
+                run.cec.sat_queries,
+                if run.cec.used_final_sat {
+                    " (miter discharged by SAT)"
+                } else {
+                    " (all outputs matched structurally)"
+                }
+            ),
+            CecVerdict::NotEquivalent(cex) => {
+                return Err(format!(
+                    "CEC MISMATCH in pass '{}': differs on input {:?}",
+                    run.failed_pass.unwrap_or("?"),
+                    cex.iter().map(|&b| b as u8).collect::<Vec<_>>()
+                ));
+            }
+            CecVerdict::Unknown => {
+                return Err(format!(
+                    "CEC inconclusive in pass '{}': the pass changed the PI/PO \
+                     interface, or a configured solver budget ran out",
+                    run.failed_pass.unwrap_or("?")
+                ));
+            }
+        }
+    }
+
+    if let Some(out) = flag_value(args, "-o") {
+        let payload = if out.ends_with(".aig") {
+            aiger::write_binary(&optimized)
+        } else {
+            aiger::write_ascii(&optimized).into_bytes()
+        };
+        std::fs::write(out, payload).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("optimized AIGER -> {out}");
+    }
+    Ok(())
+}
+
 /// Runs the full Table-I suite through the `sfq-engine` worker pool.
 fn cmd_suite(args: &[String]) -> Result<(), String> {
     let small = has_flag(args, "--small");
@@ -99,6 +282,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     // `--jobs` is a hard error, not a silent fallback.
     let workers = jobs_flag(args)?;
     let csv_path = csv_flag(args)?;
+    let pre_opt = pre_opt_flag(args);
 
     let scale = if small {
         BenchmarkScale::small()
@@ -107,10 +291,11 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     };
     let lib = CellLibrary::default();
     println!(
-        "Table I — multiphase clocking with T1 cells ({} scale, n = {phases} phases)\n",
-        if small { "small" } else { "paper" }
+        "Table I — multiphase clocking with T1 cells ({} scale, n = {phases} phases{})\n",
+        if small { "small" } else { "paper" },
+        if pre_opt { ", pre-opt" } else { "" }
     );
-    let jobs = table1_jobs(&scale, phases, &lib);
+    let jobs = table1_jobs_with(&scale, phases, &lib, pre_opt);
     let report = SuiteRunner::new(workers).run_with_progress(&jobs, |o| {
         progress_line(format_args!(
             "  [{:>2}/{}] {:<14} {:>6} ANDs  {} in {:>7.1?}",
@@ -158,17 +343,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         .transpose()?
         .unwrap_or(0);
     let out = flag_value(args, "-o").unwrap_or("out.aag");
-    let aig = match name.as_str() {
-        "adder" => epfl::adder(if width == 0 { 128 } else { width }),
-        "multiplier" => epfl::multiplier(if width == 0 { 32 } else { width }),
-        "square" => epfl::square(if width == 0 { 32 } else { width }),
-        "sin" => epfl::sin(if width == 0 { 16 } else { width }),
-        "log2" => epfl::log2(if width == 0 { 32 } else { width }),
-        "voter" => epfl::voter(if width == 0 { 255 } else { width }),
-        "c6288" => iscas::c6288_like(),
-        "c7552" => iscas::c7552_like(),
-        other => return Err(format!("unknown benchmark '{other}'")),
-    };
+    let aig = build_benchmark(name, width)?;
     let payload = if out.ends_with(".aig") {
         aiger::write_binary(&aig)
     } else {
@@ -202,6 +377,9 @@ fn cmd_map(args: &[String], verify: bool) -> Result<(), String> {
     };
     if has_flag(args, "--exact") {
         cfg.engine = PhaseEngine::Exact;
+    }
+    if has_flag(args, "--pre-opt") {
+        cfg = cfg.with_pre_opt();
     }
     let lib = CellLibrary::default();
     let res = run_flow(&aig, &lib, &cfg);

@@ -172,3 +172,126 @@ fn errors_are_reported() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("at least 3 phases"));
     let _ = std::fs::remove_file(&aag);
 }
+
+#[test]
+fn unknown_benchmark_hard_errors_with_known_names() {
+    // Satellite: a typo'd benchmark name must fail loudly and teach the
+    // full list of known names — in `gen`…
+    let out = bin().args(["gen", "adderr"]).output().expect("run gen");
+    assert!(!out.status.success(), "unknown benchmark must be an error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown benchmark 'adderr'"), "{stderr}");
+    for name in [
+        "adder",
+        "multiplier",
+        "square",
+        "sin",
+        "log2",
+        "voter",
+        "c6288",
+        "c7552",
+    ] {
+        assert!(stderr.contains(name), "error must list '{name}': {stderr}");
+    }
+    // …and in `opt`, where a non-benchmark string is also not a file.
+    let out = bin().args(["opt", "bogus9"]).output().expect("run opt");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("known benchmark") && stderr.contains("voter"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn opt_subcommand_fixpoint_verify() {
+    let out = bin()
+        .args(["opt", "adder", "8", "--fixpoint", "--verify"])
+        .output()
+        .expect("run opt");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "opt failed: {stdout} {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("verified equivalent"), "{stdout}");
+    assert!(stdout.contains("rewrite"), "per-pass stats table: {stdout}");
+    // The total line reports a strict node reduction on the adder: parse
+    // the before/after counts out of "total: <b> -> <a> nodes (...)".
+    let total = stdout
+        .lines()
+        .find(|l| l.starts_with("total:"))
+        .expect("total line");
+    let counts: Vec<usize> = total
+        .split_whitespace()
+        .take_while(|w| !w.starts_with("nodes"))
+        .filter_map(|w| w.parse().ok())
+        .collect();
+    assert_eq!(counts.len(), 2, "before/after counts: {total}");
+    assert!(counts[1] < counts[0], "adder must shrink: {total}");
+}
+
+#[test]
+fn opt_subcommand_on_files_and_pass_selection() {
+    let aag = tmp("opt_in.aag");
+    let optimized = tmp("opt_out.aag");
+    assert!(bin()
+        .args(["gen", "adder", "6", "-o", aag.to_str().unwrap()])
+        .status()
+        .expect("gen")
+        .success());
+    let out = bin()
+        .args([
+            "opt",
+            aag.to_str().unwrap(),
+            "--passes",
+            "strash,sweep",
+            "--verify",
+            "-o",
+            optimized.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run opt");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let reread = std::fs::read_to_string(&optimized).expect("optimized AIGER written");
+    assert!(reread.starts_with("aag"), "{reread}");
+    // Unknown pass names are hard errors listing the known passes.
+    let out = bin()
+        .args(["opt", "adder", "4", "--passes", "frobnicate"])
+        .output()
+        .expect("run opt");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown pass") && stderr.contains("balance"),
+        "{stderr}"
+    );
+    for f in [&aag, &optimized] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn map_accepts_pre_opt_flag() {
+    let aag = tmp("preopt.aag");
+    assert!(bin()
+        .args(["gen", "adder", "8", "-o", aag.to_str().unwrap()])
+        .status()
+        .expect("gen")
+        .success());
+    let out = bin()
+        .args(["map", aag.to_str().unwrap(), "--pre-opt"])
+        .output()
+        .expect("map");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_file(&aag);
+}

@@ -198,7 +198,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use core::ops::Range;
 
-    /// Element-count specification for [`vec`]: a fixed length or a range.
+    /// Element-count specification for [`fn@vec`]: a fixed length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
