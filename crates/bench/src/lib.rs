@@ -214,6 +214,35 @@ pub fn opt_sweep_jobs(scale: &BenchmarkScale, n: u32, lib: &CellLibrary) -> Vec<
     jobs
 }
 
+/// The slack-aware optimization sweep behind the `abl-sta` ablation: for
+/// every Table-I benchmark, the T1 flow with the conservative pre-opt stage
+/// and with the slack-aware one — two jobs per benchmark, in
+/// [`paper_benchmarks`] order, so chunking the engine's results by 2 yields
+/// one `(conservative, slack-aware)` pair per row. Combined with local
+/// `sfq_opt::optimize` runs for the AIG-level numbers, this quantifies what
+/// required-time-bounded rewriting buys end to end (node/depth/#DFF deltas).
+pub fn slack_sweep_jobs(scale: &BenchmarkScale, n: u32, lib: &CellLibrary) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (name, aig) in paper_benchmarks(scale) {
+        let aig = Arc::new(aig);
+        jobs.push(Job::new(
+            name,
+            "T1+opt",
+            aig.clone(),
+            *lib,
+            FlowConfig::t1(n).with_pre_opt(),
+        ));
+        jobs.push(Job::new(
+            name,
+            "T1+slack",
+            aig.clone(),
+            *lib,
+            FlowConfig::t1(n).with_slack_opt(),
+        ));
+    }
+    jobs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +295,23 @@ mod tests {
                 pair[0].key(),
                 pair[1].key(),
                 "{}: the pre-opt stage must re-key the job",
+                pair[0].name
+            );
+        }
+    }
+
+    #[test]
+    fn slack_sweep_pairs_have_distinct_cache_keys() {
+        let lib = CellLibrary::default();
+        let jobs = slack_sweep_jobs(&BenchmarkScale::small(), 4, &lib);
+        assert_eq!(jobs.len(), 8 * 2);
+        for pair in jobs.chunks(2) {
+            assert_eq!(pair[0].name, pair[1].name);
+            assert!(Arc::ptr_eq(&pair[0].aig, &pair[1].aig));
+            assert_ne!(
+                pair[0].key(),
+                pair[1].key(),
+                "{}: the slack-aware stage must re-key the job",
                 pair[0].name
             );
         }

@@ -19,8 +19,9 @@ use crate::dff::{insert_dffs, DffPlan};
 use crate::mapped::MappedCircuit;
 use crate::mapper::{map, MapResult};
 use crate::phase::{assign_phases, assign_phases_exact, Schedule};
+use crate::timing::{analyze_mapped, TimingConfig, TimingSummary};
 use sfq_netlist::aig::Aig;
-use sfq_opt::OptConfig;
+use sfq_opt::{OptConfig, OptReport};
 
 /// Phase-assignment engine selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +49,10 @@ pub struct FlowConfig {
     /// Pre-mapping AIG optimization stage (`sfq-opt`); disabled by default
     /// so the flow maps the network exactly as the generators emit it.
     pub pre_opt: OptConfig,
+    /// Post-scheduling timing-analysis stage (`sfq-sta`); disabled by
+    /// default. When enabled, the flow attaches a phase-granular
+    /// [`TimingSummary`] to its result.
+    pub timing: TimingConfig,
 }
 
 impl FlowConfig {
@@ -60,6 +65,7 @@ impl FlowConfig {
             opt_passes: 2,
             detect: DetectConfig::default(),
             pre_opt: OptConfig::disabled(),
+            timing: TimingConfig::disabled(),
         }
     }
 
@@ -87,7 +93,7 @@ impl FlowConfig {
     /// [`Aig::structural_hash`](sfq_netlist::aig::Aig::structural_hash) this
     /// forms the `sfq-engine` content-addressed cache key.
     pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
-        h.write_u8(2); // encoding version (2: + pre_opt stage)
+        h.write_u8(3); // encoding version (3: + timing stage)
         h.write_u32(self.phases);
         h.write_u8(self.use_t1 as u8);
         h.write_u8(match self.engine {
@@ -97,12 +103,26 @@ impl FlowConfig {
         h.write_usize(self.opt_passes);
         self.detect.fingerprint(h);
         self.pre_opt.fingerprint(h);
+        self.timing.fingerprint(h);
     }
 
     /// This configuration with the standard pre-mapping optimization stage
     /// enabled (`--pre-opt` on the CLI and the bench binaries).
     pub fn with_pre_opt(mut self) -> Self {
         self.pre_opt = OptConfig::standard();
+        self
+    }
+
+    /// This configuration with the slack-aware pre-mapping optimization
+    /// stage (`sfq-opt`'s `rewrite-slack` pipeline).
+    pub fn with_slack_opt(mut self) -> Self {
+        self.pre_opt = OptConfig::slack_aware();
+        self
+    }
+
+    /// This configuration with the timing-analysis stage enabled.
+    pub fn with_timing(mut self) -> Self {
+        self.timing = TimingConfig::standard();
         self
     }
 }
@@ -139,6 +159,12 @@ pub struct FlowResult {
     pub plan: DffPlan,
     /// Aggregate metrics.
     pub stats: FlowStats,
+    /// Per-pass report of the pre-mapping optimization stage, present when
+    /// it is enabled (saves consumers like the `abl-sta` ablation from
+    /// re-running the whole pipeline just to read the AIG-level deltas).
+    pub pre_opt: Option<OptReport>,
+    /// Schedule-slack summary, present when the timing stage is enabled.
+    pub timing: Option<TimingSummary>,
 }
 
 /// Runs a complete flow on `aig`.
@@ -156,8 +182,11 @@ pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult
     // Pre-mapping optimization: a guarded `sfq-opt` pipeline run, so the
     // mapped network is never larger or deeper than the subject network.
     let optimized;
+    let mut pre_opt = None;
     let aig = if config.pre_opt.enabled {
-        optimized = sfq_opt::optimize(aig, &config.pre_opt).0;
+        let (net, report) = sfq_opt::optimize(aig, &config.pre_opt);
+        optimized = net;
+        pre_opt = Some(report);
         &optimized
     } else {
         aig
@@ -178,6 +207,10 @@ pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult
         }
     };
     let plan = insert_dffs(&mc, &schedule);
+    let timing = config
+        .timing
+        .enabled
+        .then(|| analyze_mapped(&mc, &schedule).summary(&mc, &schedule, &plan));
     let cell_area = mc.cell_area(lib);
     let area =
         cell_area + plan.total_dffs * lib.dff as u64 + plan.total_splitters * lib.splitter as u64;
@@ -196,6 +229,8 @@ pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult
         schedule,
         plan,
         stats,
+        pre_opt,
+        timing,
     }
 }
 
@@ -213,6 +248,7 @@ const _: () = {
     assert_send_sync::<MappedCircuit>();
     assert_send_sync::<Schedule>();
     assert_send_sync::<DffPlan>();
+    assert_send_sync::<TimingSummary>();
 };
 
 #[cfg(test)]
@@ -316,6 +352,22 @@ mod tests {
                 <= aig.and_count(),
             "the pre-opt stage itself never grows the AIG"
         );
+    }
+
+    #[test]
+    fn timing_stage_attaches_a_summary() {
+        let lib = CellLibrary::default();
+        let aig = adder(6);
+        let plain = run_flow(&aig, &lib, &FlowConfig::t1(4));
+        assert!(plain.timing.is_none(), "disabled stage reports nothing");
+        let timed = run_flow(&aig, &lib, &FlowConfig::t1(4).with_timing());
+        let summary = timed.timing.expect("enabled stage attaches a summary");
+        assert_eq!(summary.horizon, timed.schedule.horizon);
+        assert_eq!(summary.chained_dffs, timed.stats.dffs);
+        assert_eq!(summary.worst_slack, 0);
+        assert!(summary.zero_slack_cells > 0);
+        // The stage is pure analysis: mapping results are untouched.
+        assert_eq!(plain.stats, timed.stats);
     }
 
     #[test]

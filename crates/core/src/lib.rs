@@ -16,8 +16,9 @@
 //!
 //! Supporting modules: [`cells`] (JJ area model), [`mapper`] (cut-based
 //! covering), [`mapped`] (netlist model), [`flow`] (end-to-end flows),
-//! [`report`] (Table-I assembly) and [`sim_bridge`] (pulse-level
-//! verification via `sfq-sim`).
+//! [`timing`] (phase-granular schedule slack via `sfq-sta`), [`report`]
+//! (Table-I assembly) and [`sim_bridge`] (pulse-level verification via
+//! `sfq-sim`).
 //!
 //! # Example
 //!
@@ -52,6 +53,7 @@ pub mod mapper;
 pub mod phase;
 pub mod report;
 pub mod sim_bridge;
+pub mod timing;
 pub mod verilog;
 
 pub use cells::{CellLibrary, GateClass};
@@ -65,4 +67,5 @@ pub use mapper::{map, MapResult, T1Group, T1Member, T1Selection};
 pub use phase::{assign_phases, assign_phases_exact, Schedule};
 pub use report::{TableOne, TableRow};
 pub use sim_bridge::to_pulse_circuit;
+pub use timing::{analyze_mapped, MappedTiming, TimingConfig, TimingSummary};
 pub use verilog::{export as export_verilog, ExportOptions};

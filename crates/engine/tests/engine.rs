@@ -145,3 +145,44 @@ fn pre_opt_jobs_get_distinct_cache_keys() {
     assert_eq!(report.cache.hits, 0);
     assert!(report.results.iter().all(|r| r.stats.gates > 0));
 }
+
+#[test]
+fn timing_configs_get_distinct_cache_keys() {
+    // The timing-analysis stage fingerprints into the content address:
+    // a timing-enabled job carries an extra summary, so serving it a plain
+    // run's cached result (or vice versa) would be wrong.
+    let lib = CellLibrary::default();
+    let aig = Arc::new(epfl::adder(8));
+    let plain = Job::new("adder", "T1", aig.clone(), lib, FlowConfig::t1(4));
+    let timed = Job::new(
+        "adder",
+        "T1+sta",
+        aig.clone(),
+        lib,
+        FlowConfig::t1(4).with_timing(),
+    );
+    assert_ne!(
+        plain.key(),
+        timed.key(),
+        "the timing stage must contribute to the cache key"
+    );
+    // top_paths is a rendering knob, not a computation input: two timing
+    // configs differing only there must SHARE a cache entry.
+    let mut deep = FlowConfig::t1(4).with_timing();
+    deep.timing.top_paths = 10;
+    assert_eq!(timed.key(), CacheKey::compute(&aig, &lib, &deep));
+    // The slack-aware pre-opt stage keys differently from the standard one.
+    assert_ne!(
+        CacheKey::compute(&aig, &lib, &FlowConfig::t1(4).with_pre_opt()),
+        CacheKey::compute(&aig, &lib, &FlowConfig::t1(4).with_slack_opt()),
+        "conservative and slack-aware pre-opt must not share results"
+    );
+    // End to end: the timed job's result carries the summary, the plain
+    // one's does not, and no cache sharing happens.
+    let report = SuiteRunner::new(2).run(&[plain, timed]);
+    assert_eq!(report.cache.misses, 2);
+    assert_eq!(report.cache.hits, 0);
+    assert!(report.results[0].timing.is_none());
+    let summary = report.results[1].timing.expect("timing summary attached");
+    assert_eq!(summary.worst_slack, 0);
+}

@@ -312,21 +312,39 @@ impl Aig {
 
     /// Logic level of every node (PIs and constant at level 0).
     pub fn levels(&self) -> Vec<u32> {
-        let mut lev = vec![0u32; self.nodes.len()];
+        let mut lev = Vec::new();
+        self.levels_into(&mut lev);
+        lev
+    }
+
+    /// [`Aig::levels`] writing into a caller-owned buffer, so hot loops
+    /// that re-level repeatedly (the `sfq-opt` fixpoint loop) reuse one
+    /// allocation instead of paying a fresh vector per round.
+    pub fn levels_into(&self, lev: &mut Vec<u32>) {
+        lev.clear();
+        lev.resize(self.nodes.len(), 0);
         for id in self.node_ids() {
             if let NodeKind::And(a, b) = self.nodes[id.index()].kind {
                 lev[id.index()] = 1 + lev[a.node().index()].max(lev[b.node().index()]);
             }
         }
-        lev
     }
 
     /// Depth of the network: maximum level over primary outputs.
     pub fn depth(&self) -> u32 {
-        let lev = self.levels();
+        self.depth_from(&self.levels())
+    }
+
+    /// [`Aig::depth`] over a precomputed level vector (see
+    /// [`Aig::levels`]), for call sites that already hold one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is shorter than the network.
+    pub fn depth_from(&self, levels: &[u32]) -> u32 {
         self.pos
             .iter()
-            .map(|l| lev[l.node().index()])
+            .map(|l| levels[l.node().index()])
             .max()
             .unwrap_or(0)
     }
@@ -504,6 +522,11 @@ mod tests {
         let lev = g.levels();
         assert_eq!(lev[ab.node().index()], 1);
         assert_eq!(lev[abc.node().index()], 2);
+        assert_eq!(g.depth_from(&lev), 2);
+        // The buffer-reusing variant agrees and recycles its allocation.
+        let mut buf = vec![99u32; 1];
+        g.levels_into(&mut buf);
+        assert_eq!(buf, lev);
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!    small window-bounded SAT queries against `sfq_solver::sat` and merged,
 //!    so locally rewritten regions collapse back onto the original
 //!    structure. Output pairs that merge to the same literal are proven
-//!    structurally.
+//!    structurally. Refuted queries are not wasted: their distinguishing
+//!    patterns are simulated back into the signatures (counterexample-
+//!    guided refinement, the classic fraiging loop), so an alias class —
+//!    nodes that 256 random patterns cannot tell apart — splits after one
+//!    refutation instead of being refuted pairwise.
 //! 3. **Miter SAT** — any still-unresolved output pair goes into a final
 //!    miter (XOR per pair, OR over pairs, assert true); UNSAT proves
 //!    equivalence, a model is a counterexample.
@@ -45,6 +49,11 @@ pub struct CecConfig {
     pub sweep_window: usize,
     /// Conflict budget per sweep query; a blown budget just skips the merge.
     pub sweep_conflicts: u64,
+    /// Counterexample-guided signature refinement (classic fraiging): the
+    /// distinguishing pattern of every SAT-refuted sweep query is simulated
+    /// back into the signatures, so a signature-alias class splits once
+    /// instead of being refuted pairwise, query by query.
+    pub refine: bool,
     /// Optional conflict budget of the final miter; `None` runs to an
     /// answer.
     pub final_conflicts: Option<u64>,
@@ -59,6 +68,7 @@ impl Default for CecConfig {
             sweep: true,
             sweep_window: 200,
             sweep_conflicts: 500,
+            refine: true,
             final_conflicts: None,
             seed: 0x5FC5_EC0D_E5EE_D001,
         }
@@ -107,6 +117,11 @@ pub struct CecStats {
     pub sweep_merges: usize,
     /// SAT queries issued (sweep and miter).
     pub sat_queries: usize,
+    /// Counterexample patterns fed back into the signatures.
+    pub refinements: usize,
+    /// Sweep candidates dismissed by a refined-signature mismatch —
+    /// each one is a SAT query the refinement saved.
+    pub alias_skips: usize,
     /// Whether the final miter was needed.
     pub used_final_sat: bool,
 }
@@ -119,6 +134,8 @@ impl CecStats {
         self.structural_matches += other.structural_matches;
         self.sweep_merges += other.sweep_merges;
         self.sat_queries += other.sat_queries;
+        self.refinements += other.refinements;
+        self.alias_skips += other.alias_skips;
         self.used_final_sat |= other.used_final_sat;
     }
 }
@@ -221,8 +238,23 @@ impl<'a> Encoder<'a> {
     }
 }
 
-/// Window-bounded equivalence query: `true` only if `x ≡ y` is proven.
-fn prove_equal(aig: &Aig, x: Lit, y: Lit, window: usize, budget: u64) -> bool {
+/// Outcome of one window-bounded equivalence query.
+enum Proof {
+    /// `x ≡ y` proven (UNSAT).
+    Proved,
+    /// A model was found; the payload is its primary-input assignment.
+    /// Under window abstraction the model may involve free frontier
+    /// variables, so the pattern is not guaranteed to distinguish the pair
+    /// on the real network — it is only a *candidate* distinguisher, which
+    /// is all signature refinement needs (simulation recomputes the true
+    /// node values on it).
+    Refuted(Vec<bool>),
+    /// Budget expired.
+    Unknown,
+}
+
+/// Window-bounded equivalence query for `x ≡ y`.
+fn prove_equal(aig: &Aig, x: Lit, y: Lit, window: usize, budget: u64) -> Proof {
     let mut enc = Encoder::new(aig);
     enc.encode_cones(&[x.node(), y.node()], window);
     let lx = enc.lit(x);
@@ -230,7 +262,16 @@ fn prove_equal(aig: &Aig, x: Lit, y: Lit, window: usize, budget: u64) -> bool {
     // SAT iff x ≠ y somewhere: exactly one of the two is true.
     enc.solver.add_clause([lx, ly]);
     enc.solver.add_clause([!lx, !ly]);
-    matches!(enc.solver.solve_limited(Some(budget)), SolveOutcome::Unsat)
+    match enc.solver.solve_limited(Some(budget)) {
+        SolveOutcome::Unsat => Proof::Proved,
+        SolveOutcome::Unknown => Proof::Unknown,
+        SolveOutcome::Sat(model) => Proof::Refuted(
+            aig.pis()
+                .iter()
+                .map(|&pi| enc.vars[pi.index()].is_some_and(|v| model[v.index()]))
+                .collect(),
+        ),
+    }
 }
 
 fn flip(l: Lit, c: bool) -> Lit {
@@ -246,11 +287,19 @@ struct SweepSpace {
     /// Per-joint-node simulation signature.
     sigs: Vec<[u64; SIG_WORDS]>,
     pi_sigs: Vec<[u64; SIG_WORDS]>,
+    /// Per-joint-node refinement signature: bit `k` is the node's value on
+    /// the `k`-th counterexample pattern fed back by a refuted query.
+    extra: Vec<u64>,
+    pi_extra: Vec<u64>,
+    /// Valid refinement patterns (bits `0..patterns` of `extra`).
+    patterns: u32,
     /// Normalized signature → class members (joint AND nodes).
     classes: HashMap<[u64; SIG_WORDS], Vec<NodeId>>,
     classified: Vec<bool>,
     stats_merges: usize,
     stats_queries: usize,
+    stats_refinements: usize,
+    stats_alias_skips: usize,
 }
 
 impl SweepSpace {
@@ -266,19 +315,24 @@ impl SweepSpace {
             subst: Vec::new(),
             sigs: Vec::new(),
             pi_sigs,
+            extra: Vec::new(),
+            pi_extra: vec![0; pi_count],
+            patterns: 0,
             classes: HashMap::new(),
             classified: Vec::new(),
             stats_merges: 0,
             stats_queries: 0,
+            stats_refinements: 0,
+            stats_alias_skips: 0,
         }
     }
 
     fn sync(&mut self) {
         for idx in self.sigs.len()..self.joint.len() {
             let id = NodeId(idx as u32);
-            let sig = match self.joint.kind(id) {
-                NodeKind::Const0 => [0; SIG_WORDS],
-                NodeKind::Input(i) => self.pi_sigs[i as usize],
+            let (sig, ext) = match self.joint.kind(id) {
+                NodeKind::Const0 => ([0; SIG_WORDS], 0),
+                NodeKind::Input(i) => (self.pi_sigs[i as usize], self.pi_extra[i as usize]),
                 NodeKind::And(a, b) => {
                     let sa = self.sigs[a.node().index()];
                     let sb = self.sigs[b.node().index()];
@@ -286,12 +340,63 @@ impl SweepSpace {
                         if a.is_complement() { u64::MAX } else { 0 },
                         if b.is_complement() { u64::MAX } else { 0 },
                     );
-                    std::array::from_fn(|w| (sa[w] ^ ma) & (sb[w] ^ mb))
+                    let ext =
+                        (self.extra[a.node().index()] ^ ma) & (self.extra[b.node().index()] ^ mb);
+                    (std::array::from_fn(|w| (sa[w] ^ ma) & (sb[w] ^ mb)), ext)
                 }
             };
             self.sigs.push(sig);
+            self.extra.push(ext);
             self.subst.push(None);
             self.classified.push(false);
+        }
+    }
+
+    /// Mask selecting the valid refinement bits.
+    fn pattern_mask(&self) -> u64 {
+        if self.patterns >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.patterns) - 1
+        }
+    }
+
+    /// The node's refinement signature, normalized by its phase bit.
+    fn norm_extra(&self, node: NodeId, phase: bool) -> u64 {
+        let e = self.extra[node.index()];
+        (if phase { !e } else { e }) & self.pattern_mask()
+    }
+
+    /// Simulates one counterexample pattern into every node's refinement
+    /// signature. The pattern need not actually distinguish the refuted
+    /// pair on the real network (window abstraction can produce spurious
+    /// models); simulation assigns the true values either way, so the
+    /// signatures only ever get more precise.
+    fn refine(&mut self, cex: &[bool]) {
+        if self.patterns >= 64 {
+            return; // refinement word exhausted; later queries go to SAT
+        }
+        let bit = self.patterns;
+        self.patterns += 1;
+        self.stats_refinements += 1;
+        for (i, &v) in cex.iter().enumerate() {
+            if v {
+                self.pi_extra[i] |= 1u64 << bit;
+            }
+        }
+        for idx in 0..self.joint.len() {
+            let id = NodeId(idx as u32);
+            self.extra[idx] = match self.joint.kind(id) {
+                NodeKind::Const0 => 0,
+                NodeKind::Input(i) => self.pi_extra[i as usize],
+                NodeKind::And(a, b) => {
+                    let (ma, mb) = (
+                        if a.is_complement() { u64::MAX } else { 0 },
+                        if b.is_complement() { u64::MAX } else { 0 },
+                    );
+                    (self.extra[a.node().index()] ^ ma) & (self.extra[b.node().index()] ^ mb)
+                }
+            };
         }
     }
 
@@ -304,7 +409,11 @@ impl SweepSpace {
 
     /// ANDs two canonical literals in the joint network and sweeps the
     /// result: a fresh node whose signature matches an existing class
-    /// member is SAT-checked and, if proven, merged onto it.
+    /// member is SAT-checked and, if proven, merged onto it. Candidates
+    /// whose *refined* signature disagrees are dismissed without a query —
+    /// their inequivalence was already witnessed by a simulated pattern —
+    /// and every refuted query feeds its distinguishing pattern back into
+    /// the signatures, splitting the rest of the alias class for free.
     fn and(&mut self, a: Lit, b: Lit, cfg: &CecConfig) -> Lit {
         let lit = self.joint.and(a, b);
         self.sync();
@@ -317,26 +426,49 @@ impl SweepSpace {
         let sig = self.sigs[node.index()];
         let phase = sig[0] & 1 == 1;
         let norm: [u64; SIG_WORDS] = std::array::from_fn(|w| if phase { !sig[w] } else { sig[w] });
-        let members = self.classes.entry(norm).or_default();
+        // Take the class out of the map for the duration of the scan (and
+        // re-insert it below): alias classes grow to thousands of members
+        // on the workloads refinement targets, so a per-node clone here
+        // would be a hot-path O(class size) copy.
+        let mut members: Vec<NodeId> = self.classes.remove(&norm).unwrap_or_default();
         let mut merged = None;
-        let candidates = if cfg.sweep { 8 } else { 0 };
-        for &cand in members.iter().take(candidates) {
+        let max_queries = if cfg.sweep { 8 } else { 0 };
+        let mut queries = 0usize;
+        for &cand in &members {
+            if queries >= max_queries {
+                break;
+            }
             let cand_sig = self.sigs[cand.index()];
             let cand_phase = cand_sig[0] & 1 == 1;
+            // Refinement filter: the refined signatures are true simulated
+            // values, so a mismatch is a definitive inequivalence witness.
+            if cfg.refine && self.norm_extra(node, phase) != self.norm_extra(cand, cand_phase) {
+                self.stats_alias_skips += 1;
+                continue;
+            }
             let target = Lit::new(cand, phase ^ cand_phase);
+            queries += 1;
             self.stats_queries += 1;
-            if prove_equal(
+            match prove_equal(
                 &self.joint,
                 Lit::new(node, false),
                 target,
                 cfg.sweep_window,
                 cfg.sweep_conflicts,
             ) {
-                merged = Some(target);
-                break;
+                Proof::Proved => {
+                    merged = Some(target);
+                    break;
+                }
+                Proof::Refuted(cex) => {
+                    if cfg.refine {
+                        self.refine(&cex);
+                    }
+                }
+                Proof::Unknown => {}
             }
         }
-        match merged {
+        let result = match merged {
             Some(target) => {
                 self.subst[node.index()] = Some(target);
                 self.stats_merges += 1;
@@ -346,7 +478,11 @@ impl SweepSpace {
                 members.push(node);
                 lit
             }
+        };
+        if !members.is_empty() {
+            self.classes.insert(norm, members);
         }
+        result
     }
 
     /// Copies `aig` into the joint network, returning the canonical literal
@@ -411,6 +547,8 @@ pub fn check_equivalence(a: &Aig, b: &Aig, cfg: &CecConfig) -> Result<CecOutcome
     let map_b = space.absorb(b, cfg);
     stats.sweep_merges = space.stats_merges;
     stats.sat_queries = space.stats_queries;
+    stats.refinements = space.stats_refinements;
+    stats.alias_skips = space.stats_alias_skips;
 
     let mut unresolved: Vec<(Lit, Lit)> = Vec::new();
     for (pa, pb) in a.pos().iter().zip(b.pos()) {
@@ -542,6 +680,83 @@ mod tests {
         let out = check_equivalence(&a, &b, &CecConfig::default()).unwrap();
         assert_eq!(out.verdict, CecVerdict::Equivalent);
         assert!(out.stats.sat_queries > 0, "solver had to be consulted");
+    }
+
+    /// `x == k` detectors: each is 1 on exactly one of 2^12 patterns, so
+    /// 256 random patterns see every detector as constant-0 — a worst-case
+    /// signature-alias class (the `voter` pathology in miniature).
+    fn detectors(keys: &[u16], balanced: bool) -> Aig {
+        let mut g = Aig::new();
+        let pis: Vec<Lit> = (0..12).map(|_| g.add_pi()).collect();
+        for &k in keys {
+            let lits: Vec<Lit> = (0..12)
+                .map(|i| {
+                    let bit = k >> i & 1 == 1;
+                    if bit {
+                        pis[i]
+                    } else {
+                        !pis[i]
+                    }
+                })
+                .collect();
+            let out = if balanced {
+                // Balanced tree association.
+                let mut layer = lits;
+                while layer.len() > 1 {
+                    layer = layer
+                        .chunks(2)
+                        .map(|c| {
+                            if c.len() == 2 {
+                                g.and(c[0], c[1])
+                            } else {
+                                c[0]
+                            }
+                        })
+                        .collect();
+                }
+                layer[0]
+            } else {
+                // Left-leaning chain association.
+                let mut acc = lits[0];
+                for &l in &lits[1..] {
+                    acc = g.and(acc, l);
+                }
+                acc
+            };
+            g.add_po(out);
+        }
+        g
+    }
+
+    /// Satellite: counterexample-guided refinement must slash the number
+    /// of SAT queries spent refuting signature aliases.
+    #[test]
+    fn refinement_cuts_alias_queries() {
+        let keys: Vec<u16> = (0..24).map(|i| (i * 157 + 3) % 4096).collect();
+        let a = detectors(&keys, false);
+        let b = detectors(&keys, true);
+        // All detectors alias to the all-zero signature class; without
+        // refinement the sweep grinds through pairwise refutations.
+        let unrefined = CecConfig {
+            refine: false,
+            ..CecConfig::default()
+        };
+        let base = check_equivalence(&a, &b, &unrefined).unwrap();
+        assert_eq!(base.verdict, CecVerdict::Equivalent);
+        let refined = check_equivalence(&a, &b, &CecConfig::default()).unwrap();
+        assert_eq!(refined.verdict, CecVerdict::Equivalent);
+        assert!(refined.stats.refinements > 0, "patterns must be fed back");
+        assert!(refined.stats.alias_skips > 0, "aliases must be dismissed");
+        assert!(
+            refined.stats.sat_queries < base.stats.sat_queries,
+            "refinement must cut queries: {} (refined) vs {} (unrefined)",
+            refined.stats.sat_queries,
+            base.stats.sat_queries
+        );
+        // With the class split by real witnesses, each balanced detector
+        // finds its chain twin and merges; without, the 8-candidate cap
+        // often buries the right candidate. More merges for fewer queries.
+        assert!(refined.stats.sweep_merges >= base.stats.sweep_merges);
     }
 
     #[test]

@@ -57,9 +57,9 @@ mod util;
 
 pub use cec::{check_equivalence, CecConfig, CecError, CecOutcome, CecStats, CecVerdict};
 pub use pass::{
-    optimize, optimize_verified, parse_passes, Balance, OptConfig, OptPass, OptReport, PassKind,
-    PassStats, Pipeline, Rewrite, Strash, Sweep, VerifiedRun,
+    optimize, optimize_verified, parse_passes, Balance, BalanceCritical, OptConfig, OptPass,
+    OptReport, PassKind, PassStats, Pipeline, Rewrite, Strash, Sweep, VerifiedRun,
 };
-pub use passes::{balance_network, strash_network, sweep_network};
-pub use rewrite::{rewrite_network, RewriteConfig};
+pub use passes::{balance_critical_network, balance_network, strash_network, sweep_network};
+pub use rewrite::{rewrite_network, RewriteConfig, RewriteMode};
 pub use table::{Program, ProgramBuilder, RewriteTable};

@@ -3,8 +3,8 @@
 //! fingerprinted [`OptConfig`] that flows and caches key on.
 
 use crate::cec::{check_equivalence, CecConfig, CecStats, CecVerdict};
-use crate::passes::{balance_network, strash_network, sweep_network};
-use crate::rewrite::{rewrite_network, RewriteConfig};
+use crate::passes::{balance_critical_network, balance_network, strash_network, sweep_network};
+use crate::rewrite::{rewrite_network, RewriteConfig, RewriteMode};
 use sfq_netlist::aig::Aig;
 use std::fmt;
 use std::hash::Hasher;
@@ -62,16 +62,20 @@ fn stats_around(
     aig: &mut Aig,
     f: impl FnOnce(&Aig) -> (Aig, usize),
 ) -> PassStats {
+    // One level buffer serves both the before and after measurement.
+    let mut lev = Vec::new();
     let nodes_before = aig.and_count();
-    let depth_before = aig.depth();
+    aig.levels_into(&mut lev);
+    let depth_before = aig.depth_from(&lev);
     let (next, applied) = f(aig);
     *aig = next;
+    aig.levels_into(&mut lev);
     PassStats {
         pass,
         nodes_before,
         nodes_after: aig.and_count(),
         depth_before,
-        depth_after: aig.depth(),
+        depth_after: aig.depth_from(&lev),
         applied,
     }
 }
@@ -115,19 +119,46 @@ impl OptPass for Balance {
     }
 }
 
-/// Cut-based NPN rewriting.
+/// Slack-prioritized rebalancing: only zero-slack trees are rebuilt (see
+/// [`balance_critical_network`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BalanceCritical;
+
+impl OptPass for BalanceCritical {
+    fn name(&self) -> &'static str {
+        "balance-slack"
+    }
+    fn run(&self, aig: &mut Aig) -> PassStats {
+        stats_around("balance-slack", aig, balance_critical_network)
+    }
+}
+
+/// Cut-based NPN rewriting; the config's [`RewriteMode`] selects the
+/// depth policy (and the pass name shown in stats tables).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Rewrite {
-    /// Enumeration parameters.
+    /// Enumeration parameters and depth policy.
     pub config: RewriteConfig,
+}
+
+impl Rewrite {
+    /// The slack-aware variant (depth budget = required time).
+    pub fn slack_aware() -> Self {
+        Rewrite {
+            config: RewriteConfig::slack_aware(),
+        }
+    }
 }
 
 impl OptPass for Rewrite {
     fn name(&self) -> &'static str {
-        "rewrite"
+        match self.config.mode {
+            RewriteMode::Conservative => "rewrite",
+            RewriteMode::SlackAware => "rewrite-slack",
+        }
     }
     fn run(&self, aig: &mut Aig) -> PassStats {
-        stats_around("rewrite", aig, |g| rewrite_network(g, &self.config))
+        stats_around(self.name(), aig, |g| rewrite_network(g, &self.config))
     }
 }
 
@@ -140,19 +171,35 @@ pub enum PassKind {
     Strash,
     /// [`Sweep`].
     Sweep,
-    /// [`Rewrite`].
+    /// [`Rewrite`] in the depth-conservative mode.
     Rewrite,
+    /// [`Rewrite`] in the slack-aware mode (sites may grow up to their
+    /// required-time slack; network depth still never increases).
+    RewriteSlack,
     /// [`Balance`].
     Balance,
+    /// [`BalanceCritical`] — only zero-slack trees are rebuilt.
+    BalanceSlack,
 }
 
 impl PassKind {
-    /// Every pass, in the default pipeline order.
+    /// The default conservative pipeline, in order.
     pub const ALL: [PassKind; 4] = [
         PassKind::Strash,
         PassKind::Sweep,
         PassKind::Rewrite,
         PassKind::Balance,
+    ];
+
+    /// Every parseable pass (the `--passes` vocabulary and the error-
+    /// message listing).
+    pub const KNOWN: [PassKind; 6] = [
+        PassKind::Strash,
+        PassKind::Sweep,
+        PassKind::Rewrite,
+        PassKind::RewriteSlack,
+        PassKind::Balance,
+        PassKind::BalanceSlack,
     ];
 
     /// The pass's `--passes` spelling.
@@ -161,7 +208,9 @@ impl PassKind {
             PassKind::Strash => "strash",
             PassKind::Sweep => "sweep",
             PassKind::Rewrite => "rewrite",
+            PassKind::RewriteSlack => "rewrite-slack",
             PassKind::Balance => "balance",
+            PassKind::BalanceSlack => "balance-slack",
         }
     }
 
@@ -171,11 +220,11 @@ impl PassKind {
     ///
     /// Returns the list of known passes on an unknown name.
     pub fn parse(s: &str) -> Result<PassKind, String> {
-        PassKind::ALL
+        PassKind::KNOWN
             .into_iter()
             .find(|p| p.name() == s)
             .ok_or_else(|| {
-                let known: Vec<&str> = PassKind::ALL.iter().map(|p| p.name()).collect();
+                let known: Vec<&str> = PassKind::KNOWN.iter().map(|p| p.name()).collect();
                 format!("unknown pass '{s}' (known passes: {})", known.join(", "))
             })
     }
@@ -187,6 +236,8 @@ impl PassKind {
             PassKind::Sweep => 1,
             PassKind::Rewrite => 2,
             PassKind::Balance => 3,
+            PassKind::RewriteSlack => 4,
+            PassKind::BalanceSlack => 5,
         }
     }
 
@@ -195,7 +246,9 @@ impl PassKind {
             PassKind::Strash => Box::new(Strash),
             PassKind::Sweep => Box::new(Sweep),
             PassKind::Rewrite => Box::new(Rewrite::default()),
+            PassKind::RewriteSlack => Box::new(Rewrite::slack_aware()),
             PassKind::Balance => Box::new(Balance),
+            PassKind::BalanceSlack => Box::new(BalanceCritical),
         }
     }
 }
@@ -253,6 +306,23 @@ impl OptConfig {
     pub fn standard() -> Self {
         OptConfig {
             enabled: true,
+            ..Self::disabled()
+        }
+    }
+
+    /// The slack-aware stage: like [`OptConfig::standard`] but with
+    /// rewriting allowed to consume per-site slack
+    /// ([`PassKind::RewriteSlack`]). Depth is still never increased; the
+    /// extra freedom buys strictly more area on depth-dominated networks.
+    pub fn slack_aware() -> Self {
+        OptConfig {
+            enabled: true,
+            passes: vec![
+                PassKind::Strash,
+                PassKind::Sweep,
+                PassKind::RewriteSlack,
+                PassKind::Balance,
+            ],
             ..Self::disabled()
         }
     }
@@ -338,17 +408,24 @@ impl Pipeline {
     /// final network never has more nodes or depth than the input — the
     /// invariant `opt --fixpoint` and the flow's pre-mapping stage rely on.
     pub fn run_until_fixpoint(&self, aig: &mut Aig, max_rounds: usize) -> OptReport {
+        // The convergence loop re-levels the network every round; one
+        // shared buffer keeps that allocation-free.
+        let mut lev = Vec::new();
+        let mut depth_of = |aig: &Aig| {
+            aig.levels_into(&mut lev);
+            aig.depth_from(&lev)
+        };
         let nodes_before = aig.and_count();
-        let depth_before = aig.depth();
+        let depth_before = depth_of(aig);
         let mut rounds = Vec::new();
         let mut converged = false;
         for _ in 0..max_rounds {
             let prev_nodes = aig.and_count();
-            let prev_depth = aig.depth();
+            let prev_depth = depth_of(aig);
             let snapshot = aig.clone();
             let stats = self.run(aig);
             let nodes = aig.and_count();
-            let depth = aig.depth();
+            let depth = depth_of(aig);
             if nodes > prev_nodes || depth > prev_depth {
                 *aig = snapshot; // guard: roll the regression back
                 converged = true;
@@ -559,11 +636,18 @@ mod tests {
             parse_passes(" balance , sweep ").unwrap(),
             vec![PassKind::Balance, PassKind::Sweep]
         );
+        assert_eq!(
+            parse_passes("rewrite-slack,balance-slack").unwrap(),
+            vec![PassKind::RewriteSlack, PassKind::BalanceSlack]
+        );
         let err = parse_passes("strash,frobnicate").unwrap_err();
         assert!(
             err.contains("frobnicate") && err.contains("balance"),
             "{err}"
         );
+        for kind in PassKind::KNOWN {
+            assert!(err.contains(kind.name()), "error must list {}", kind.name());
+        }
         assert!(parse_passes(" , ").is_err());
     }
 
@@ -579,6 +663,29 @@ mod tests {
         single.fixpoint = false;
         assert_ne!(fp(&on), fp(&single), "fixpoint flag must key");
         assert_eq!(fp(&OptConfig::standard()), fp(&OptConfig::standard()));
+        assert_ne!(
+            fp(&OptConfig::standard()),
+            fp(&OptConfig::slack_aware()),
+            "the slack-aware pipeline must key differently"
+        );
+    }
+
+    #[test]
+    fn slack_aware_pipeline_never_regresses() {
+        let mut g = Aig::new();
+        let pis: Vec<_> = (0..6).map(|_| g.add_pi()).collect();
+        let m = g.maj3(pis[0], pis[1], pis[2]);
+        let x = g.xor3(pis[3], pis[4], pis[5]);
+        let top = g.and(m, x);
+        g.add_po(top);
+        let (nodes0, depth0) = (g.and_count(), g.depth());
+        let (opt, report) = optimize(&g, &OptConfig::slack_aware());
+        assert!(report.nodes_after <= nodes0);
+        assert!(report.depth_after <= depth0, "depth guard holds");
+        for i in 0..64u32 {
+            let bits: Vec<bool> = (0..6).map(|k| i >> k & 1 == 1).collect();
+            assert_eq!(g.eval(&bits), opt.eval(&bits), "input {i}");
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::util::mapped;
 use sfq_netlist::aig::{Aig, Lit, NodeId, NodeKind};
 use sfq_netlist::transform;
+use sfq_sta::AigSta;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -101,7 +102,56 @@ fn sync_levels(aig: &Aig, levels: &mut Vec<u32>) {
 /// collapse the tree to constant false. Returns the network and the number
 /// of trees (≥ 3 leaves) rebuilt.
 pub fn balance_network(aig: &Aig) -> (Aig, usize) {
-    let internal = internal_flags(aig);
+    balance_trees(aig, &internal_flags(aig))
+}
+
+/// Slack-prioritized balancing: only trees whose root sits on a tight
+/// PI→PO path (zero slack under `sfq-sta`'s unit-delay analysis) are
+/// rebuilt; everything off the critical paths is copied verbatim. Depth
+/// never increases and the zero-slack trees shrink as far as full
+/// balancing would shrink them; the network depth matches full balancing
+/// whenever the rebuilt critical trees remain the deepest (a near-critical
+/// tree left alone can otherwise become the new depth limit — the fixpoint
+/// loop re-levels and picks it up next round). Non-critical structure (and
+/// any sharing rewriting set up there) is left untouched. Returns the
+/// network and the number of trees rebuilt.
+pub fn balance_critical_network(aig: &Aig) -> (Aig, usize) {
+    let sta = AigSta::new(aig);
+    let mut internal = internal_flags(aig);
+    // Restrict the dissolve set to trees rooted at zero-slack nodes: an
+    // internal node keeps its flag only if its (unique) maximal tree root
+    // is critical. Roots are the non-internal ANDs; walk each critical
+    // root's tree and collect the members, then clear everyone else.
+    let mut keep = vec![false; aig.len()];
+    for id in aig.and_ids() {
+        if internal[id.index()] {
+            continue; // not a root
+        }
+        if sta.slack(id) != 0 {
+            continue; // off the critical paths: leave the tree alone
+        }
+        // Mark this tree's internal members.
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let (a, b) = aig.fanins(n).expect("AND tree member");
+            for l in [a, b] {
+                if !l.is_complement() && internal[l.node().index()] {
+                    keep[l.node().index()] = true;
+                    stack.push(l.node());
+                }
+            }
+        }
+    }
+    for (i, flag) in internal.iter_mut().enumerate() {
+        *flag &= keep[i];
+    }
+    balance_trees(aig, &internal)
+}
+
+/// Shared rebuild behind [`balance_network`] and
+/// [`balance_critical_network`]: dissolves exactly the trees described by
+/// `internal` and rebuilds each with the optimal-merge heap.
+fn balance_trees(aig: &Aig, internal: &[bool]) -> (Aig, usize) {
     let mut out = Aig::new();
     let mut levels: Vec<u32> = Vec::new();
     let mut map: Vec<Option<Lit>> = vec![None; aig.len()];
@@ -116,7 +166,7 @@ pub fn balance_network(aig: &Aig) -> (Aig, usize) {
                     continue; // dissolved into its tree root
                 }
                 let mut leaves = Vec::new();
-                collect_tree(aig, &internal, id, &mut leaves);
+                collect_tree(aig, internal, id, &mut leaves);
                 let mut lits: Vec<Lit> = leaves.iter().map(|&l| mapped(&map, l)).collect();
                 lits.sort();
                 lits.dedup();
@@ -242,6 +292,37 @@ mod tests {
         let (b, _) = balance_network(&g);
         assert_eq!(b.and_count(), 3, "shared node must not be duplicated");
         eval_equal(&g, &b);
+    }
+
+    #[test]
+    fn critical_balance_rebuilds_only_zero_slack_trees() {
+        // A deep AND chain (critical) next to a shallow chain that ends in
+        // a gate with plenty of slack: full balancing rebuilds both, the
+        // slack-prioritized variant touches only the critical tree — and
+        // both land on the same depth, because depth is decided by the
+        // zero-slack tree.
+        let mut g = Aig::new();
+        let pis: Vec<Lit> = (0..8).map(|_| g.add_pi()).collect();
+        let mut deep = pis[0];
+        for &p in &pis[1..8] {
+            deep = g.and(deep, p);
+        }
+        // Over complemented literals so the side tree neither shares
+        // structure with the deep chain nor is implied by it.
+        let mut side = !pis[3];
+        for &p in pis[..3].iter().rev() {
+            side = g.and(side, !p);
+        }
+        let top = g.and(deep, !side);
+        g.add_po(top);
+        let (full, full_rebuilt) = balance_network(&g);
+        let (crit, crit_rebuilt) = balance_critical_network(&g);
+        assert_eq!(full_rebuilt, 2, "full balancing rebuilds both trees");
+        assert_eq!(crit_rebuilt, 1, "only the critical tree is rebuilt");
+        assert_eq!(full.depth(), crit.depth(), "same depth either way");
+        assert!(crit.depth() < g.depth());
+        eval_equal(&g, &crit);
+        eval_equal(&g, &full);
     }
 
     #[test]

@@ -10,8 +10,19 @@
 //! ABC-style rewriting where sharing with the surrounding network is what
 //! makes local replacements profitable. A replacement is accepted only if
 //! its estimated gain is strictly positive **and** its estimated output
-//! level does not exceed the root's current level, so rewriting never
-//! increases network depth.
+//! level does not exceed the site's depth budget:
+//!
+//! - [`RewriteMode::Conservative`] — the budget is the root's current
+//!   level, so a site never deepens locally (the historical behavior);
+//! - [`RewriteMode::SlackAware`] — the budget is the root's *required
+//!   time* from `sfq-sta`'s unit-delay analysis, so a site may grow up to
+//!   its slack. Accepted growth is immediately fed back into the arrival
+//!   analysis ([`sfq_sta::AigSta::raise_arrival`], an incremental
+//!   dirty-cone refresh), so every later estimate prices candidate logic
+//!   against the levels the network will actually have. Network depth
+//!   still never increases: every node's realized level stays bounded by
+//!   its required time (roots by the acceptance test, everything else by
+//!   the required-time recurrence `required(fanin) ≤ required(node) − 1`).
 //!
 //! Accepted sites are committed in one reconstruction sweep: freed interior
 //! nodes are skipped, roots are instantiated from their class programs, and
@@ -24,21 +35,56 @@ use sfq_netlist::cut::{enumerate_cuts, CutConfig};
 use sfq_netlist::mffc::Mffc;
 use sfq_netlist::npn::{npn_canonical, NpnCanon};
 use sfq_netlist::truth_table::TruthTable;
+use sfq_sta::AigSta;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Depth policy of the rewrite pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RewriteMode {
+    /// Reject any site whose estimated output level exceeds the root's
+    /// current level.
+    #[default]
+    Conservative,
+    /// Allow a site to grow up to the root's slack (required-time
+    /// analysis); network depth is still never increased.
+    SlackAware,
+}
 
 /// Parameters of the rewrite pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RewriteConfig {
     /// Priority-cut limit per node during enumeration.
     pub max_cuts: usize,
+    /// Depth policy.
+    pub mode: RewriteMode,
 }
 
 impl Default for RewriteConfig {
+    fn default() -> Self {
+        Self::conservative()
+    }
+}
+
+impl RewriteConfig {
     /// Twelve cuts per node — enough to expose the profitable 3- and
     /// 4-input cones without paying full mapping-grade enumeration.
-    fn default() -> Self {
-        RewriteConfig { max_cuts: 12 }
+    pub const DEFAULT_MAX_CUTS: usize = 12;
+
+    /// The historical depth-conservative configuration.
+    pub fn conservative() -> Self {
+        RewriteConfig {
+            max_cuts: Self::DEFAULT_MAX_CUTS,
+            mode: RewriteMode::Conservative,
+        }
+    }
+
+    /// The slack-aware configuration.
+    pub fn slack_aware() -> Self {
+        RewriteConfig {
+            mode: RewriteMode::SlackAware,
+            ..Self::conservative()
+        }
     }
 }
 
@@ -60,18 +106,18 @@ struct Site {
 /// levels realized after reconstruction.
 fn estimate(
     aig: &Aig,
-    levels: &[u32],
+    levels: &[i64],
     freed: &[NodeId],
     dead: &[bool],
     prog: &Program,
     inputs: &[Lit],
-) -> (usize, u32) {
+) -> (usize, i64) {
     #[derive(Clone, Copy)]
     enum Slot {
         /// Exists in the network today (literal, level).
-        Known(Lit, u32),
+        Known(Lit, i64),
         /// Would be created (level estimate).
-        New(u32),
+        New(i64),
     }
     let level_of = |s: Slot| match s {
         Slot::Known(_, l) | Slot::New(l) => l,
@@ -130,6 +176,15 @@ pub fn rewrite_network(aig: &Aig, config: &RewriteConfig) -> (Aig, usize) {
         },
     );
     let levels = aig.levels();
+    let static_levels: Vec<i64> = levels.iter().map(|&l| l as i64).collect();
+    // Slack-aware mode runs on the unit-delay required-time analysis; its
+    // arrival view starts at the static levels and is floored upward as
+    // growing sites are accepted, so later estimates price against the
+    // post-rewrite cone depths.
+    let mut sta = match config.mode {
+        RewriteMode::Conservative => None,
+        RewriteMode::SlackAware => Some(AigSta::with_levels(aig, &levels)),
+    };
     let mut mffc = Mffc::new(aig);
     let table = RewriteTable::global();
     // Cut functions repeat heavily (every full adder contributes the same
@@ -144,8 +199,18 @@ pub fn rewrite_network(aig: &Aig, config: &RewriteConfig) -> (Aig, usize) {
         if dead[root.index()] {
             continue;
         }
-        let root_level = levels[root.index()];
-        let mut best: Option<(i64, Site, Vec<NodeId>)> = None;
+        // The depth budget of this site: its current level in conservative
+        // mode, its required time (current level + slack) in slack-aware
+        // mode. Either way the realized network depth cannot grow.
+        let arrivals: &[i64] = match &sta {
+            Some(s) => s.arrivals(),
+            None => &static_levels,
+        };
+        let level_limit = match &sta {
+            Some(s) => s.required(root),
+            None => static_levels[root.index()],
+        };
+        let mut best: Option<(i64, i64, Site, Vec<NodeId>)> = None;
         for cut in cuts.cuts(root) {
             let leaves = cut.leaves();
             if leaves.len() == 1 && leaves[0] == root {
@@ -172,17 +237,23 @@ pub fn rewrite_network(aig: &Aig, config: &RewriteConfig) -> (Aig, usize) {
                 let neg = canon.input_neg >> i & 1 == 1;
                 inputs[canon.perm[i] as usize] = Lit::new(leaves[orig_var], neg);
             }
-            let (cost, out_level) = estimate(aig, &levels, &freed, &dead, &program, &inputs);
-            if out_level > root_level {
-                continue; // would deepen the network
+            let (cost, out_level) = estimate(aig, arrivals, &freed, &dead, &program, &inputs);
+            if out_level > level_limit {
+                continue; // would exceed the site's depth budget
             }
             let gain = freed.len() as i64 - cost as i64;
             if gain <= 0 {
                 continue;
             }
-            if best.as_ref().is_none_or(|(g, ..)| gain > *g) {
+            // Tiebreak equal gains toward the shallower implementation so
+            // slack is only consumed when it buys nodes.
+            if best
+                .as_ref()
+                .is_none_or(|&(g, lv, ..)| (gain, -out_level) > (g, -lv))
+            {
                 best = Some((
                     gain,
+                    out_level,
                     Site {
                         program,
                         inputs,
@@ -192,7 +263,7 @@ pub fn rewrite_network(aig: &Aig, config: &RewriteConfig) -> (Aig, usize) {
                 ));
             }
         }
-        if let Some((_, site, freed)) = best {
+        if let Some((_, out_level, site, freed)) = best {
             for &n in &freed {
                 if n != root {
                     dead[n.index()] = true;
@@ -200,6 +271,13 @@ pub fn rewrite_network(aig: &Aig, config: &RewriteConfig) -> (Aig, usize) {
             }
             is_root[root.index()] = true;
             sites.insert(root, site);
+            if let Some(s) = sta.as_mut() {
+                if out_level > s.arrival(root) {
+                    // Feed the accepted growth back into the analysis so
+                    // downstream estimates see the deepened cone.
+                    s.raise_arrival(root, out_level);
+                }
+            }
         }
     }
 
@@ -298,6 +376,52 @@ mod tests {
         assert!(rw.and_count() <= before);
         assert!(rw.depth() <= g.depth());
         eval_equal(&g, &rw);
+    }
+
+    #[test]
+    fn slack_aware_never_deepens_the_network() {
+        // Random-ish structured cones; whatever sites the slack-aware mode
+        // accepts, the PO depth must never exceed the subject's.
+        let mut g = Aig::new();
+        let pis: Vec<Lit> = (0..8).map(|_| g.add_pi()).collect();
+        let m1 = g.maj3(pis[0], pis[1], pis[2]);
+        let x1 = g.xor3(pis[2], pis[3], pis[4]);
+        let m2 = g.maj3(m1, x1, pis[5]);
+        let x2 = g.xor3(m2, pis[6], pis[7]);
+        let deep = {
+            let mut acc = x2;
+            for &p in &pis[..6] {
+                acc = g.and(acc, p);
+            }
+            acc
+        };
+        g.add_po(deep);
+        g.add_po(m2);
+        let depth0 = g.depth();
+        let mut cur = g.clone();
+        for _ in 0..3 {
+            let (next, _) = rewrite_network(&cur, &RewriteConfig::slack_aware());
+            assert!(next.depth() <= depth0, "depth grew past the subject's");
+            cur = sfq_netlist::transform::sweep(&next);
+        }
+        eval_equal(&g, &cur);
+    }
+
+    #[test]
+    fn slack_aware_matches_conservative_gains_at_worst() {
+        // On a pure majority cone (root is the PO, zero slack), the two
+        // modes must agree exactly.
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let m = g.maj3(a, b, c);
+        g.add_po(m);
+        let (cons, n_cons) = rewrite_network(&g, &RewriteConfig::conservative());
+        let (slack, n_slack) = rewrite_network(&g, &RewriteConfig::slack_aware());
+        assert_eq!(n_cons, n_slack);
+        assert_eq!(cons.and_count(), slack.and_count());
+        eval_equal(&cons, &slack);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! | [`circuits`] | EPFL-like and ISCAS-like benchmark generators |
 //! | [`sim`] | pulse-level SFQ simulator with behavioural T1 cell |
 //! | [`opt`] | pass-manager-driven AIG optimization with SAT-checked equivalence |
+//! | [`sta`] | static timing & slack analysis (arrival/required propagation, critical paths) |
 //! | [`t1map`] | the paper's flow: T1 detection, multiphase phase assignment, DFF insertion |
 //! | [`engine`] | parallel batch-flow execution with content-addressed result caching |
 //! | [`mod@bench`] | paper benchmark suites, engine job lists, progress helper |
@@ -39,4 +40,5 @@ pub use sfq_netlist as netlist;
 pub use sfq_opt as opt;
 pub use sfq_sim as sim;
 pub use sfq_solver as solver;
+pub use sfq_sta as sta;
 pub use t1map;

@@ -5,13 +5,14 @@
 //! sfq-t1 map <in.aag|in.aig> [options]           run a mapping flow, print stats
 //! sfq-t1 verify <in.aag|in.aig> [options]        map + wave-pipelined pulse-sim check
 //! sfq-t1 opt <benchmark|in.aag> [width] [opts]   pre-mapping AIG optimization (sfq-opt)
+//! sfq-t1 sta <benchmark|in.aag> [width] [opts]   static timing & slack analysis (sfq-sta)
 //! sfq-t1 suite [options]                         Table-I suite through sfq-engine
 //!
 //! options:
 //!   --phases N       number of clock phases (default 4)
 //!   --no-t1          disable T1 detection (baseline flow)
 //!   --exact          exact MILP phase assignment (small circuits)
-//!   --pre-opt        map/verify/suite: run the sfq-opt stage before mapping
+//!   --pre-opt        map/verify/suite/sta: run the sfq-opt stage before mapping
 //!   --verilog FILE   write structural Verilog (with --models FILE for cell models)
 //!   --dot FILE       write a Graphviz visualization of the scheduled netlist
 //!   --waves K        number of verification waves (verify; default 8)
@@ -21,10 +22,17 @@
 //!
 //! opt options:
 //!   --passes LIST    comma-separated pass sequence (default strash,sweep,rewrite,balance)
+//!   --slack-aware    use the slack-aware pipeline (rewrite may consume per-site slack)
 //!   --fixpoint       iterate the sequence to convergence (guarded)
 //!   --rounds N       fixpoint round limit (default 8)
 //!   --verify         CEC the result against the input (simulation + SAT miter)
 //!   -o FILE          write the optimized network as AIGER
+//!
+//! sta options:
+//!   --mapped         analyze the mapped + scheduled netlist (phase-granular
+//!                    slack) instead of the unit-delay AIG
+//!   --top-paths K    critical paths to extract (default 3)
+//!   --csv FILE       write the per-node timing table as CSV
 //! ```
 
 use std::process::ExitCode;
@@ -55,7 +63,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: sfq-t1 <gen|map|verify|opt|suite> ... (see --help in README)".to_string()
+    "usage: sfq-t1 <gen|map|verify|opt|sta|suite> ... (see --help in README)".to_string()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -64,6 +72,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("map") => cmd_map(&args[1..], false),
         Some("verify") => cmd_map(&args[1..], true),
         Some("opt") => cmd_opt(&args[1..]),
+        Some("sta") => cmd_sta(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{}", usage());
@@ -170,7 +179,11 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         .unwrap_or(0);
     let aig = load_subject(name, width)?;
 
-    let mut config = OptConfig::standard();
+    let mut config = if has_flag(args, "--slack-aware") {
+        OptConfig::slack_aware()
+    } else {
+        OptConfig::standard()
+    };
     if let Some(list) = flag_value(args, "--passes") {
         config.passes = parse_passes(list)?;
     }
@@ -264,6 +277,125 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         };
         std::fs::write(out, payload).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("optimized AIGER -> {out}");
+    }
+    Ok(())
+}
+
+/// Static timing analysis: unit-delay slack over the AIG, or phase-granular
+/// schedule slack over the mapped netlist (`--mapped`).
+fn cmd_sta(args: &[String]) -> Result<(), String> {
+    use sfq_t1::sta::{AigSta, TimingReport};
+    use sfq_t1::t1map::timing::analyze_mapped;
+
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("sta: benchmark name or AIGER file required")?;
+    let width: usize = args
+        .get(1)
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.parse().map_err(|e| format!("bad width: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let top_paths: usize = flag_value(args, "--top-paths")
+        .map(|v| v.parse().map_err(|e| format!("bad --top-paths: {e}")))
+        .transpose()?
+        .unwrap_or(3);
+    let mut aig = load_subject(name, width)?;
+    if has_flag(args, "--pre-opt") {
+        aig = optimize(&aig, &OptConfig::standard()).0;
+    }
+    println!(
+        "{name}: {} PIs, {} POs, {} ANDs, depth {}",
+        aig.pi_count(),
+        aig.po_count(),
+        aig.and_count(),
+        aig.depth()
+    );
+
+    if has_flag(args, "--mapped") {
+        let phases: u32 = flag_value(args, "--phases")
+            .map(|v| v.parse().map_err(|e| format!("bad --phases: {e}")))
+            .transpose()?
+            .unwrap_or(4);
+        let use_t1 = !has_flag(args, "--no-t1");
+        if use_t1 && phases < 3 {
+            return Err("T1 flows need at least 3 phases (use --no-t1 for fewer)".into());
+        }
+        let cfg = if use_t1 {
+            FlowConfig::t1(phases)
+        } else {
+            FlowConfig::multiphase(phases)
+        };
+        let lib = CellLibrary::default();
+        let res = run_flow(&aig, &lib, &cfg);
+        // One analysis serves the summary, the paths and the CSV (running
+        // the flow's own timing stage here would analyze twice).
+        let timing = analyze_mapped(&res.mapped, &res.schedule);
+        let summary = timing.summary(&res.mapped, &res.schedule, &res.plan);
+        println!(
+            "mapped timing (n = {phases} phases): horizon {} stages ({} cycles), \
+             {} scheduled cells",
+            summary.horizon,
+            res.schedule.depth_cycles(),
+            summary.scheduled_cells
+        );
+        println!(
+            "schedule slack: worst {}, total {} phases of headroom, {} zero-slack \
+             cells ({:.1}%)",
+            summary.worst_slack,
+            summary.total_slack,
+            summary.zero_slack_cells,
+            100.0 * summary.zero_slack_cells as f64 / summary.scheduled_cells.max(1) as f64
+        );
+        println!(
+            "DFF cost at this schedule: {} per-edge (§II-B objective), {} realized \
+             with shared chains",
+            summary.edge_dffs, summary.chained_dffs
+        );
+        let (paths, truncated) = timing.critical_paths_bounded(top_paths);
+        for (i, p) in paths.iter().enumerate() {
+            println!(
+                "path #{} length {} stages, slack {} ({} cells): c{} -> ... -> c{}",
+                i + 1,
+                p.length,
+                p.slack,
+                p.nodes.len(),
+                p.nodes.first().copied().unwrap_or(0),
+                p.nodes.last().copied().unwrap_or(0)
+            );
+        }
+        if truncated {
+            println!("(path search budget exhausted — more paths exist than listed)");
+        }
+        if let Some(path) = flag_value(args, "--csv") {
+            let mut csv = String::from("cell,stage,earliest,latest,slack\n");
+            for (id, _) in res.mapped.cells() {
+                let latest = timing.latest(id);
+                if latest == i64::MAX {
+                    continue;
+                }
+                csv.push_str(&format!(
+                    "{},{},{},{},{}\n",
+                    id.0,
+                    res.schedule.stages[id.index()],
+                    timing.earliest(id),
+                    latest,
+                    timing.schedule_slack(&res.schedule, id)
+                ));
+            }
+            std::fs::write(path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("timing CSV -> {path}");
+        }
+    } else {
+        let sta = AigSta::new(&aig);
+        let report = TimingReport::new(sta.graph(), sta.analysis(), top_paths);
+        print!("unit-delay timing: {report}");
+        if let Some(path) = flag_value(args, "--csv") {
+            std::fs::write(path, TimingReport::node_csv(sta.graph(), sta.analysis()))
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("timing CSV -> {path}");
+        }
     }
     Ok(())
 }

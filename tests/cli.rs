@@ -260,20 +260,108 @@ fn opt_subcommand_on_files_and_pass_selection() {
     );
     let reread = std::fs::read_to_string(&optimized).expect("optimized AIGER written");
     assert!(reread.starts_with("aag"), "{reread}");
-    // Unknown pass names are hard errors listing the known passes.
+    // Unknown pass names are hard errors listing every known pass,
+    // including the slack-aware variants.
     let out = bin()
         .args(["opt", "adder", "4", "--passes", "frobnicate"])
         .output()
         .expect("run opt");
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(
-        stderr.contains("unknown pass") && stderr.contains("balance"),
-        "{stderr}"
-    );
+    assert!(stderr.contains("unknown pass 'frobnicate'"), "{stderr}");
+    for name in [
+        "strash",
+        "sweep",
+        "rewrite",
+        "rewrite-slack",
+        "balance",
+        "balance-slack",
+    ] {
+        assert!(stderr.contains(name), "error must list '{name}': {stderr}");
+    }
     for f in [&aag, &optimized] {
         let _ = std::fs::remove_file(f);
     }
+}
+
+#[test]
+fn opt_slack_aware_flag_runs_verified() {
+    let out = bin()
+        .args([
+            "opt",
+            "adder",
+            "8",
+            "--fixpoint",
+            "--slack-aware",
+            "--verify",
+        ])
+        .output()
+        .expect("run opt");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "opt --slack-aware failed: {stdout} {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("rewrite-slack"), "{stdout}");
+    assert!(stdout.contains("verified equivalent"), "{stdout}");
+}
+
+#[test]
+fn sta_subcommand_reports_unit_delay_timing() {
+    let csv = tmp("sta.csv");
+    let out = bin()
+        .args([
+            "sta",
+            "adder",
+            "8",
+            "--top-paths",
+            "2",
+            "--csv",
+            csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run sta");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "sta failed: {stdout} {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("worst slack 0"), "{stdout}");
+    assert!(stdout.contains("slack histogram:"), "{stdout}");
+    assert!(
+        stdout.contains("path #1") && stdout.contains("path #2"),
+        "{stdout}"
+    );
+    let table = std::fs::read_to_string(&csv).expect("CSV written");
+    assert!(
+        table.starts_with("node,arrival,required,slack\n"),
+        "{table}"
+    );
+    assert!(table.lines().count() > 10, "{table}");
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn sta_subcommand_mapped_mode() {
+    let out = bin()
+        .args(["sta", "adder", "8", "--mapped", "--phases", "4"])
+        .output()
+        .expect("run sta --mapped");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{stdout} {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("mapped timing (n = 4 phases)"), "{stdout}");
+    assert!(stdout.contains("schedule slack: worst 0"), "{stdout}");
+    assert!(stdout.contains("per-edge"), "{stdout}");
+    // Unknown subjects fail loudly, as everywhere else.
+    let out = bin().args(["sta", "nonesuch"]).output().expect("run sta");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("known benchmark"));
 }
 
 #[test]
