@@ -14,13 +14,19 @@
 //! 5. **Slack-aware rewriting** (`abl-sta`): what required-time-bounded
 //!    rewriting (`sfq-sta` slack) buys over the conservative pipeline —
 //!    node/depth deltas at the AIG level and #DFF deltas end to end.
+//! 6. **Analysis context** (`abl-ctx`): scratch-vs-incremental analysis
+//!    cost of the slack-aware fixpoint pipeline — one shared `OptContext`
+//!    (STA built once, then incrementally rebound) against per-consumer
+//!    scratch rebuilds, with byte-identical results asserted per row.
 //!
 //! ```sh
-//! cargo run --release -p sfq-bench --bin ablation [-- --jobs N] [--pre-opt]
+//! cargo run --release -p sfq-bench --bin ablation [-- --jobs N] [--pre-opt] [--small|--paper]
 //! ```
 //!
 //! `--pre-opt` additionally runs the phase sweep itself on pre-optimized
-//! networks.
+//! networks. The benchmark-suite sections (`abl-opt`, `abl-sta`,
+//! `abl-ctx`) run at small scale by default (`--small` spells it out, as
+//! CI does); `--paper` selects the full Table-I widths.
 
 use sfq_bench::{
     jobs_flag, opt_sweep_jobs, phase_sweep_jobs_with, pre_opt_flag, progress_line,
@@ -48,6 +54,18 @@ fn main() -> ExitCode {
     };
 
     let pre_opt = pre_opt_flag(&args);
+    // The suite sections run small-scale unless --paper asks for Table-I
+    // widths (--small spells the default out; CI passes it explicitly).
+    let suite_scale = if args.iter().any(|a| a == "--paper") {
+        BenchmarkScale::paper()
+    } else {
+        BenchmarkScale::small()
+    };
+    let scale_label = if args.iter().any(|a| a == "--paper") {
+        "paper scale"
+    } else {
+        "small scale"
+    };
     println!(
         "=== abl-phases: phase-count sweep (64-bit adder{}) ===",
         if pre_opt { ", pre-opt" } else { "" }
@@ -271,14 +289,14 @@ fn main() -> ExitCode {
         );
     }
 
-    println!("\n=== abl-opt: sfq-opt pre-mapping pipeline (small scale, T1@4φ) ===");
+    println!("\n=== abl-opt: sfq-opt pre-mapping pipeline ({scale_label}, T1@4φ) ===");
     println!(
         "{:<10} | {:>6} {:>6} {:>6} | {:>5} {:>5} | {:>8} {:>8} {:>7}",
         "circuit", "nodes", "opt", "Δ%", "depth", "opt", "T1 DFF", "opt DFF", "Δ%"
     );
     {
         use sfq_opt::{optimize, OptConfig};
-        let scale = BenchmarkScale::small();
+        let scale = suite_scale;
         let jobs = opt_sweep_jobs(&scale, 4, &lib);
         let report = SuiteRunner::new(workers).run(&jobs);
         for (pair, job) in report.results.chunks(2).zip(jobs.iter().step_by(2)) {
@@ -304,13 +322,13 @@ fn main() -> ExitCode {
         );
     }
 
-    println!("\n=== abl-sta: slack-aware vs conservative rewriting (small scale, T1@4φ) ===");
+    println!("\n=== abl-sta: slack-aware vs conservative rewriting ({scale_label}, T1@4φ) ===");
     println!(
         "{:<10} | {:>6} {:>6} {:>6} | {:>5} {:>5} | {:>8} {:>8} | {:>16}",
         "circuit", "cons n", "slck n", "Δn", "consD", "slckD", "cons DFF", "slck DFF", "delta"
     );
     {
-        let scale = BenchmarkScale::small();
+        let scale = suite_scale;
         let jobs = slack_sweep_jobs(&scale, 4, &lib);
         let report = SuiteRunner::new(workers).run(&jobs);
         let mut node_wins = 0usize;
@@ -342,6 +360,67 @@ fn main() -> ExitCode {
              benchmarks (depth never above the subject's; per-site growth is \
              bounded by required-time slack)",
             jobs.len() / 2
+        );
+    }
+
+    println!("\n=== abl-ctx: shared analysis context vs scratch rebuilds ({scale_label}, slack-aware fixpoint) ===");
+    println!(
+        "{:<10} | {:>6} | {:>9} {:>9} {:>7} | {:>9} {:>9} | {:>11} | {:>9}",
+        "circuit",
+        "nodes",
+        "scratch",
+        "ctx",
+        "ratio",
+        "STA s/c",
+        "refr/net",
+        "cache hits",
+        "identical"
+    );
+    {
+        use sfq_bench::paper_benchmarks;
+        use sfq_opt::{OptConfig, OptContext, Pipeline};
+        use std::time::Instant;
+        let pipeline = Pipeline::from_config(&OptConfig::slack_aware());
+        let mut identical_rows = 0usize;
+        let mut rows = 0usize;
+        for (name, aig) in paper_benchmarks(&suite_scale) {
+            let t0 = Instant::now();
+            let mut scratch_net = aig.clone();
+            let mut scratch_ctx = OptContext::scratch();
+            let scratch = pipeline.run_until_fixpoint_with(&mut scratch_net, 8, &mut scratch_ctx);
+            let t_scratch = t0.elapsed();
+
+            let t1 = Instant::now();
+            let mut ctx_net = aig.clone();
+            let mut ctx = OptContext::new();
+            let shared = pipeline.run_until_fixpoint_with(&mut ctx_net, 8, &mut ctx);
+            let t_ctx = t1.elapsed();
+
+            let identical = scratch_net.structural_hash() == ctx_net.structural_hash();
+            rows += 1;
+            identical_rows += identical as usize;
+            println!(
+                "{:<10} | {:>6} | {:>9.1?} {:>9.1?} {:>6.2}x | {:>4}/{:<4} {:>9} | {:>11} | {:>9}",
+                name,
+                shared.nodes_after,
+                t_scratch,
+                t_ctx,
+                t_scratch.as_secs_f64() / t_ctx.as_secs_f64().max(1e-9),
+                scratch.analysis.sta_full_builds,
+                shared.analysis.sta_full_builds,
+                format!(
+                    "{}/{}",
+                    shared.analysis.sta_nodes_refreshed,
+                    2 * aig.len() * scratch.analysis.sta_full_builds.max(1)
+                ),
+                shared.analysis.cache_hits,
+                if identical { "yes" } else { "NO" }
+            );
+        }
+        println!(
+            "abl-ctx: identical results on {identical_rows}/{rows} benchmarks; the shared \
+             context builds the STA at most once per run\n(refr/net = STA nodes refreshed \
+             incrementally vs ≈2·n node visits a scratch pipeline pays across its rebuilds)"
         );
     }
 

@@ -93,7 +93,7 @@ impl FlowConfig {
     /// [`Aig::structural_hash`](sfq_netlist::aig::Aig::structural_hash) this
     /// forms the `sfq-engine` content-addressed cache key.
     pub fn fingerprint(&self, h: &mut impl std::hash::Hasher) {
-        h.write_u8(3); // encoding version (3: + timing stage)
+        h.write_u8(4); // encoding version (4: pre-opt analysis-manager passes)
         h.write_u32(self.phases);
         h.write_u8(self.use_t1 as u8);
         h.write_u8(match self.engine {
@@ -117,6 +117,16 @@ impl FlowConfig {
     /// stage (`sfq-opt`'s `rewrite-slack` pipeline).
     pub fn with_slack_opt(mut self) -> Self {
         self.pre_opt = OptConfig::slack_aware();
+        self
+    }
+
+    /// This configuration with the DFF-objective pre-mapping optimization
+    /// stage (`sfq-opt`'s `rewrite-dff` pipeline): rewrite sites are
+    /// priced by their projected per-edge DFF cost under **this flow's**
+    /// phase count, bridging the §II-B `edge_dff_objective` accounting of
+    /// `t1map::timing` into pre-mapping synthesis.
+    pub fn with_dff_opt(mut self) -> Self {
+        self.pre_opt = OptConfig::dff_aware(self.phases.max(1));
         self
     }
 
@@ -352,6 +362,48 @@ mod tests {
                 <= aig.and_count(),
             "the pre-opt stage itself never grows the AIG"
         );
+    }
+
+    #[test]
+    fn dff_opt_stage_preserves_function_and_rekeys() {
+        use sfq_netlist::fnv::Fnv1a;
+        use std::hash::Hasher;
+        let lib = CellLibrary::default();
+        let aig = adder(8);
+        let res = run_flow(&aig, &lib, &FlowConfig::t1(4).with_dff_opt());
+        let mut state = 0x0DFF_0DFF_0DFF_0DFFu64 | 1;
+        for _ in 0..4 {
+            let inputs: Vec<u64> = (0..aig.pi_count())
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state
+                })
+                .collect();
+            assert_eq!(aig.eval64(&inputs), res.mapped.eval64(&inputs));
+        }
+        // The stage rides the phase count of its flow and re-keys the
+        // engine cache relative to every other pre-opt flavor.
+        let fp = |cfg: &FlowConfig| {
+            let mut h = Fnv1a::new();
+            cfg.fingerprint(&mut h);
+            h.finish()
+        };
+        let plain = FlowConfig::t1(4);
+        assert_ne!(fp(&plain), fp(&plain.clone().with_dff_opt()));
+        assert_ne!(
+            fp(&plain.clone().with_slack_opt()),
+            fp(&plain.clone().with_dff_opt())
+        );
+        // Same flow phase count, different pricing phase count: only the
+        // pre-opt stage encoding separates these two, so this pins the
+        // RewriteDff parameter actually reaching the fingerprint.
+        let mut price4 = FlowConfig::t1(4);
+        price4.pre_opt = sfq_opt::OptConfig::dff_aware(4);
+        let mut price8 = FlowConfig::t1(4);
+        price8.pre_opt = sfq_opt::OptConfig::dff_aware(8);
+        assert_ne!(fp(&price4), fp(&price8), "the pricing phase count must key");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! pre-mapping synthesis layer of the T1 flow, in the spirit of ABC-style
 //! `rewrite; balance; dc2` scripts.
 //!
-//! Two cooperating pieces:
+//! Three cooperating pieces:
 //!
 //! - **Pass manager** ([`pass`]) — the [`OptPass`] trait, a [`Pipeline`]
 //!   that runs a configurable pass sequence with per-pass node/level deltas
@@ -18,7 +18,16 @@
 //!   [`sfq_netlist::transform::cleanup`]), `balance` (depth-optimal
 //!   AND-tree rebalancing) and `rewrite` (4-input cut enumeration →
 //!   NPN-canonical class lookup against the precomputed subgraph table of
-//!   [`table`] → MFFC-gain-based replacement).
+//!   [`table`] → MFFC-gain-based replacement, with slack-aware and
+//!   DFF-objective pricing modes).
+//!
+//! - **Analysis manager** ([`analysis`]) — the [`OptContext`] threaded
+//!   through every pass: a typed cache of lazily-computed,
+//!   incrementally-refreshed analyses (levels/depth, unit-delay STA,
+//!   fanout counts, simulation signatures). Passes report [`Preserved`]
+//!   sets; stale timing analyses are rebound incrementally rather than
+//!   rebuilt, so a fixpoint run constructs the STA from scratch at most
+//!   once.
 //!
 //! - **Verification guard** ([`cec`]) — combinational equivalence checking
 //!   of original vs. optimized networks: random-simulation prefilter,
@@ -48,6 +57,7 @@
 //! assert_eq!(cec.verdict, CecVerdict::Equivalent);
 //! ```
 
+pub mod analysis;
 pub mod cec;
 pub mod pass;
 pub mod passes;
@@ -55,11 +65,17 @@ pub mod rewrite;
 pub mod table;
 mod util;
 
+pub use analysis::{signatures_of, CtxCounters, OptContext, Preserved};
 pub use cec::{check_equivalence, CecConfig, CecError, CecOutcome, CecStats, CecVerdict};
 pub use pass::{
     optimize, optimize_verified, parse_passes, Balance, BalanceCritical, OptConfig, OptPass,
     OptReport, PassKind, PassStats, Pipeline, Rewrite, Strash, Sweep, VerifiedRun,
 };
-pub use passes::{balance_critical_network, balance_network, strash_network, sweep_network};
-pub use rewrite::{rewrite_network, RewriteConfig, RewriteMode};
+pub use passes::{
+    balance_critical_network, balance_critical_network_ctx, balance_network, strash_network,
+    sweep_network,
+};
+pub use rewrite::{
+    rewrite_network, rewrite_network_ctx, RewriteConfig, RewriteMode, DEFAULT_DFF_PHASES,
+};
 pub use table::{Program, ProgramBuilder, RewriteTable};

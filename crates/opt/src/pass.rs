@@ -1,15 +1,26 @@
 //! The pass manager: the [`OptPass`] trait, per-pass statistics, the
 //! [`Pipeline`] runner with its guarded convergence loop, and the
 //! fingerprinted [`OptConfig`] that flows and caches key on.
+//!
+//! Every pass runs against an [`OptContext`] — the typed analysis cache of
+//! [`crate::analysis`] — and reports a [`Preserved`] set describing which
+//! cached analyses its output network kept valid. The pipeline threads
+//! **one** context through all passes and all fixpoint rounds, so analyses
+//! survive pass boundaries: levels are recomputed only when a pass
+//! restructured the network, and the unit-delay timing analysis is built
+//! from scratch at most once per run (stale copies are incrementally
+//! rebound — see [`sfq_sta::AigSta::rebind`]).
 
+use crate::analysis::{same_structure, CtxCounters, OptContext, Preserved};
 use crate::cec::{check_equivalence, CecConfig, CecStats, CecVerdict};
-use crate::passes::{balance_critical_network, balance_network, strash_network, sweep_network};
-use crate::rewrite::{rewrite_network, RewriteConfig, RewriteMode};
+use crate::passes::{balance_critical_network_ctx, balance_network, strash_network, sweep_network};
+use crate::rewrite::{rewrite_network_ctx, RewriteConfig, RewriteMode, DEFAULT_DFF_PHASES};
 use sfq_netlist::aig::Aig;
 use std::fmt;
 use std::hash::Hasher;
+use std::time::Instant;
 
-/// Node/level deltas of one pass execution.
+/// Node/level deltas and analysis-cache accounting of one pass execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PassStats {
     /// Pass name (as shown in stats tables).
@@ -25,6 +36,17 @@ pub struct PassStats {
     /// Pass-specific application count (nodes merged/removed, trees
     /// rebuilt, rewrite sites committed).
     pub applied: usize,
+    /// Analysis requests served from the context cache during this pass.
+    pub cache_hits: usize,
+    /// Cached analyses this pass invalidated (marked stale).
+    pub invalidations: usize,
+    /// STA nodes incrementally refreshed (rebind dirty cones) during this
+    /// pass — compare against `sta_builds` × network size.
+    pub sta_refreshed: usize,
+    /// From-scratch STA builds during this pass.
+    pub sta_builds: usize,
+    /// Wall-clock time of the pass in microseconds.
+    pub micros: u64,
 }
 
 impl PassStats {
@@ -50,34 +72,58 @@ impl fmt::Display for PassStats {
 }
 
 /// A network optimization pass.
+///
+/// Passes transform the network in place and keep the analysis context
+/// honest: the returned [`Preserved`] set (already applied to `ctx` by the
+/// time `run` returns) names exactly the cached analyses that are still
+/// valid for the output network. The shared runner upgrades the report to
+/// [`Preserved::all`] when the pass verifiably reproduced the network
+/// unchanged, so converged fixpoint rounds cost no analysis work.
 pub trait OptPass {
     /// Short stable name (also the `--passes` spelling).
     fn name(&self) -> &'static str;
-    /// Transforms `aig` in place, returning the run's statistics.
-    fn run(&self, aig: &mut Aig) -> PassStats;
+    /// Transforms `aig` in place, returning the run's statistics and the
+    /// preservation report applied to `ctx`.
+    fn run(&self, aig: &mut Aig, ctx: &mut OptContext) -> (PassStats, Preserved);
 }
 
 fn stats_around(
     pass: &'static str,
     aig: &mut Aig,
-    f: impl FnOnce(&Aig) -> (Aig, usize),
-) -> PassStats {
-    // One level buffer serves both the before and after measurement.
-    let mut lev = Vec::new();
+    ctx: &mut OptContext,
+    f: impl FnOnce(&Aig, &mut OptContext) -> (Aig, usize, Preserved),
+) -> (PassStats, Preserved) {
+    let start = Instant::now();
+    let snap = ctx.counters();
     let nodes_before = aig.and_count();
-    aig.levels_into(&mut lev);
-    let depth_before = aig.depth_from(&lev);
-    let (next, applied) = f(aig);
-    *aig = next;
-    aig.levels_into(&mut lev);
-    PassStats {
-        pass,
-        nodes_before,
-        nodes_after: aig.and_count(),
-        depth_before,
-        depth_after: aig.depth_from(&lev),
-        applied,
+    let depth_before = ctx.depth(aig);
+    let (next, applied, mut preserved) = f(aig, ctx);
+    // A verbatim rebuild (the converged-round common case) preserves every
+    // analysis regardless of what the pass claims.
+    if same_structure(aig, &next) {
+        preserved = Preserved::all();
     }
+    *aig = next;
+    ctx.retain(&preserved);
+    let nodes_after = aig.and_count();
+    let depth_after = ctx.depth(aig);
+    let delta = ctx.counters().delta_since(&snap);
+    (
+        PassStats {
+            pass,
+            nodes_before,
+            nodes_after,
+            depth_before,
+            depth_after,
+            applied,
+            cache_hits: delta.cache_hits,
+            invalidations: delta.invalidations,
+            sta_refreshed: delta.sta_nodes_refreshed,
+            sta_builds: delta.sta_full_builds,
+            micros: start.elapsed().as_micros() as u64,
+        },
+        preserved,
+    )
 }
 
 /// Structural hashing / deduplication pass.
@@ -88,8 +134,11 @@ impl OptPass for Strash {
     fn name(&self) -> &'static str {
         "strash"
     }
-    fn run(&self, aig: &mut Aig) -> PassStats {
-        stats_around("strash", aig, strash_network)
+    fn run(&self, aig: &mut Aig, ctx: &mut OptContext) -> (PassStats, Preserved) {
+        stats_around("strash", aig, ctx, |g, _| {
+            let (out, applied) = strash_network(g);
+            (out, applied, Preserved::none())
+        })
     }
 }
 
@@ -101,8 +150,11 @@ impl OptPass for Sweep {
     fn name(&self) -> &'static str {
         "sweep"
     }
-    fn run(&self, aig: &mut Aig) -> PassStats {
-        stats_around("sweep", aig, sweep_network)
+    fn run(&self, aig: &mut Aig, ctx: &mut OptContext) -> (PassStats, Preserved) {
+        stats_around("sweep", aig, ctx, |g, _| {
+            let (out, applied) = sweep_network(g);
+            (out, applied, Preserved::none())
+        })
     }
 }
 
@@ -114,13 +166,17 @@ impl OptPass for Balance {
     fn name(&self) -> &'static str {
         "balance"
     }
-    fn run(&self, aig: &mut Aig) -> PassStats {
-        stats_around("balance", aig, balance_network)
+    fn run(&self, aig: &mut Aig, ctx: &mut OptContext) -> (PassStats, Preserved) {
+        stats_around("balance", aig, ctx, |g, _| {
+            let (out, applied) = balance_network(g);
+            (out, applied, Preserved::none())
+        })
     }
 }
 
 /// Slack-prioritized rebalancing: only zero-slack trees are rebuilt (see
-/// [`balance_critical_network`]).
+/// [`crate::passes::balance_critical_network`]). Consumes the context's
+/// cached timing analysis instead of building a throwaway one.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BalanceCritical;
 
@@ -128,13 +184,16 @@ impl OptPass for BalanceCritical {
     fn name(&self) -> &'static str {
         "balance-slack"
     }
-    fn run(&self, aig: &mut Aig) -> PassStats {
-        stats_around("balance-slack", aig, balance_critical_network)
+    fn run(&self, aig: &mut Aig, ctx: &mut OptContext) -> (PassStats, Preserved) {
+        stats_around("balance-slack", aig, ctx, |g, ctx| {
+            let (out, applied) = balance_critical_network_ctx(g, ctx);
+            (out, applied, Preserved::none())
+        })
     }
 }
 
 /// Cut-based NPN rewriting; the config's [`RewriteMode`] selects the
-/// depth policy (and the pass name shown in stats tables).
+/// depth/pricing policy (and the pass name shown in stats tables).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Rewrite {
     /// Enumeration parameters and depth policy.
@@ -148,6 +207,14 @@ impl Rewrite {
             config: RewriteConfig::slack_aware(),
         }
     }
+
+    /// The DFF-objective variant (slack-aware budget, sites priced by the
+    /// per-edge DFF cost under `n`-phase clocking).
+    pub fn dff_aware(n: u32) -> Self {
+        Rewrite {
+            config: RewriteConfig::dff_aware(n),
+        }
+    }
 }
 
 impl OptPass for Rewrite {
@@ -155,10 +222,24 @@ impl OptPass for Rewrite {
         match self.config.mode {
             RewriteMode::Conservative => "rewrite",
             RewriteMode::SlackAware => "rewrite-slack",
+            RewriteMode::DffAware => "rewrite-dff",
         }
     }
-    fn run(&self, aig: &mut Aig) -> PassStats {
-        stats_around(self.name(), aig, |g| rewrite_network(g, &self.config))
+    fn run(&self, aig: &mut Aig, ctx: &mut OptContext) -> (PassStats, Preserved) {
+        let timing = self.config.mode != RewriteMode::Conservative;
+        stats_around(self.name(), aig, ctx, |g, ctx| {
+            let (out, applied) = rewrite_network_ctx(g, &self.config, ctx);
+            // The timing modes rebound the context's STA to the output
+            // network themselves (invalidating only the reconstructed
+            // cones through the incremental refresh), and the rebound
+            // arrivals are the output's levels.
+            let preserved = if timing {
+                Preserved::none().with_sta().with_levels()
+            } else {
+                Preserved::none()
+            };
+            (out, applied, preserved)
+        })
     }
 }
 
@@ -176,6 +257,10 @@ pub enum PassKind {
     /// [`Rewrite`] in the slack-aware mode (sites may grow up to their
     /// required-time slack; network depth still never increases).
     RewriteSlack,
+    /// [`Rewrite`] in the DFF-objective mode under the given phase count:
+    /// the slack-aware depth budget plus site pricing by the per-edge DFF
+    /// cost (§II-B accounting at unit delay).
+    RewriteDff(u32),
     /// [`Balance`].
     Balance,
     /// [`BalanceCritical`] — only zero-slack trees are rebuilt.
@@ -192,12 +277,15 @@ impl PassKind {
     ];
 
     /// Every parseable pass (the `--passes` vocabulary and the error-
-    /// message listing).
-    pub const KNOWN: [PassKind; 6] = [
+    /// message listing). `rewrite-dff` parses at the default phase count
+    /// ([`DEFAULT_DFF_PHASES`]); programmatic configs pick their own via
+    /// [`PassKind::RewriteDff`].
+    pub const KNOWN: [PassKind; 7] = [
         PassKind::Strash,
         PassKind::Sweep,
         PassKind::Rewrite,
         PassKind::RewriteSlack,
+        PassKind::RewriteDff(DEFAULT_DFF_PHASES),
         PassKind::Balance,
         PassKind::BalanceSlack,
     ];
@@ -209,6 +297,7 @@ impl PassKind {
             PassKind::Sweep => "sweep",
             PassKind::Rewrite => "rewrite",
             PassKind::RewriteSlack => "rewrite-slack",
+            PassKind::RewriteDff(_) => "rewrite-dff",
             PassKind::Balance => "balance",
             PassKind::BalanceSlack => "balance-slack",
         }
@@ -238,6 +327,7 @@ impl PassKind {
             PassKind::Balance => 3,
             PassKind::RewriteSlack => 4,
             PassKind::BalanceSlack => 5,
+            PassKind::RewriteDff(_) => 6,
         }
     }
 
@@ -247,6 +337,7 @@ impl PassKind {
             PassKind::Sweep => Box::new(Sweep),
             PassKind::Rewrite => Box::new(Rewrite::default()),
             PassKind::RewriteSlack => Box::new(Rewrite::slack_aware()),
+            PassKind::RewriteDff(n) => Box::new(Rewrite::dff_aware(n)),
             PassKind::Balance => Box::new(Balance),
             PassKind::BalanceSlack => Box::new(BalanceCritical),
         }
@@ -327,14 +418,35 @@ impl OptConfig {
         }
     }
 
+    /// The DFF-objective stage: like [`OptConfig::slack_aware`] but with
+    /// rewrite sites priced by their projected per-edge DFF cost under
+    /// `n`-phase clocking ([`PassKind::RewriteDff`]) — the mapping-aware
+    /// pre-optimization that weights MFFC gains by how much path-balancing
+    /// cost the freed cone induces at its schedule slack.
+    pub fn dff_aware(n: u32) -> Self {
+        OptConfig {
+            enabled: true,
+            passes: vec![
+                PassKind::Strash,
+                PassKind::Sweep,
+                PassKind::RewriteDff(n),
+                PassKind::Balance,
+            ],
+            ..Self::disabled()
+        }
+    }
+
     /// Canonical encoding of the configuration into `h` (versioned, fixed
     /// field order) — the `sfq-engine` cache-key contribution.
     pub fn fingerprint(&self, h: &mut impl Hasher) {
-        h.write_u8(1); // encoding version
+        h.write_u8(2); // encoding version (2: parameterized pass tags)
         h.write_u8(self.enabled as u8);
         h.write_usize(self.passes.len());
         for p in &self.passes {
             h.write_u8(p.tag());
+            if let PassKind::RewriteDff(n) = p {
+                h.write_u32(*n);
+            }
         }
         h.write_u8(self.fixpoint as u8);
         h.write_usize(self.max_rounds);
@@ -348,7 +460,7 @@ impl Default for OptConfig {
 }
 
 /// Outcome of a pipeline run: per-round, per-pass statistics plus the
-/// end-to-end deltas.
+/// end-to-end deltas and the analysis-cache accounting.
 #[derive(Debug, Clone)]
 pub struct OptReport {
     /// Statistics of every executed pass, grouped by round.
@@ -364,6 +476,9 @@ pub struct OptReport {
     pub depth_before: u32,
     /// Depth after optimization.
     pub depth_after: u32,
+    /// Aggregate analysis-context counters over the whole run (cache hits,
+    /// invalidations, STA builds vs. incremental refreshes).
+    pub analysis: CtxCounters,
 }
 
 impl OptReport {
@@ -395,39 +510,54 @@ impl Pipeline {
         Pipeline::from_kinds(&config.passes)
     }
 
-    /// Runs every pass once, in order.
+    /// Runs every pass once, in order, against a fresh analysis context.
     pub fn run(&self, aig: &mut Aig) -> Vec<PassStats> {
-        self.passes.iter().map(|p| p.run(aig)).collect()
+        self.run_with(aig, &mut OptContext::new())
+    }
+
+    /// Runs every pass once, in order, threading the caller's context.
+    pub fn run_with(&self, aig: &mut Aig, ctx: &mut OptContext) -> Vec<PassStats> {
+        self.passes.iter().map(|p| p.run(aig, ctx).0).collect()
     }
 
     /// Runs the pass sequence repeatedly until no round improves the
-    /// network, up to `max_rounds` rounds.
+    /// network, up to `max_rounds` rounds, against a fresh analysis
+    /// context.
     ///
     /// The loop is *guarded*: a round whose result has more nodes or more
     /// depth than it started with is rolled back and the loop stops, so the
     /// final network never has more nodes or depth than the input — the
     /// invariant `opt --fixpoint` and the flow's pre-mapping stage rely on.
     pub fn run_until_fixpoint(&self, aig: &mut Aig, max_rounds: usize) -> OptReport {
-        // The convergence loop re-levels the network every round; one
-        // shared buffer keeps that allocation-free.
-        let mut lev = Vec::new();
-        let mut depth_of = |aig: &Aig| {
-            aig.levels_into(&mut lev);
-            aig.depth_from(&lev)
-        };
+        self.run_until_fixpoint_with(aig, max_rounds, &mut OptContext::new())
+    }
+
+    /// [`Pipeline::run_until_fixpoint`] threading the caller's analysis
+    /// context through **all** rounds: analyses survive both pass and
+    /// round boundaries, so e.g. `rewrite-slack` builds its timing
+    /// analysis from scratch at most once per run and converged rounds
+    /// cost no analysis work at all.
+    pub fn run_until_fixpoint_with(
+        &self,
+        aig: &mut Aig,
+        max_rounds: usize,
+        ctx: &mut OptContext,
+    ) -> OptReport {
+        let entry = ctx.counters();
         let nodes_before = aig.and_count();
-        let depth_before = depth_of(aig);
+        let depth_before = ctx.depth(aig);
         let mut rounds = Vec::new();
         let mut converged = false;
         for _ in 0..max_rounds {
             let prev_nodes = aig.and_count();
-            let prev_depth = depth_of(aig);
+            let prev_depth = ctx.depth(aig);
             let snapshot = aig.clone();
-            let stats = self.run(aig);
+            let stats = self.run_with(aig, ctx);
             let nodes = aig.and_count();
-            let depth = depth_of(aig);
+            let depth = ctx.depth(aig);
             if nodes > prev_nodes || depth > prev_depth {
                 *aig = snapshot; // guard: roll the regression back
+                ctx.invalidate_all();
                 converged = true;
                 break;
             }
@@ -443,7 +573,8 @@ impl Pipeline {
             nodes_before,
             nodes_after: aig.and_count(),
             depth_before,
-            depth_after: aig.depth(),
+            depth_after: ctx.depth(aig),
+            analysis: ctx.counters().delta_since(&entry),
         }
     }
 }
@@ -462,23 +593,27 @@ pub fn optimize(aig: &Aig, config: &OptConfig) -> (Aig, OptReport) {
             nodes_after: g.and_count(),
             depth_before: g.depth(),
             depth_after: g.depth(),
+            analysis: CtxCounters::default(),
         };
         return (g, report);
     }
     let pipeline = Pipeline::from_config(config);
+    let mut ctx = OptContext::new();
     let report = if config.fixpoint {
-        pipeline.run_until_fixpoint(&mut g, config.max_rounds)
+        pipeline.run_until_fixpoint_with(&mut g, config.max_rounds, &mut ctx)
     } else {
         let nodes_before = g.and_count();
-        let depth_before = g.depth();
-        let stats = pipeline.run(&mut g);
+        let depth_before = ctx.depth(&g);
+        let stats = pipeline.run_with(&mut g, &mut ctx);
+        let depth_after = ctx.depth(&g);
         OptReport {
             rounds: vec![stats],
             converged: true,
             nodes_before,
             nodes_after: g.and_count(),
             depth_before,
-            depth_after: g.depth(),
+            depth_after,
+            analysis: ctx.counters(),
         }
     };
     (g, report)
@@ -527,6 +662,7 @@ pub fn optimize_verified(subject: &Aig, config: &OptConfig, cec: &CecConfig) -> 
     let mut verdict = CecVerdict::Equivalent;
     let mut failed_pass = None;
     let mut converged = true;
+    let mut ctx = OptContext::new();
 
     let pipeline = Pipeline::from_config(config);
     let max_rounds = match (config.enabled, config.fixpoint) {
@@ -541,7 +677,7 @@ pub fn optimize_verified(subject: &Aig, config: &OptConfig, cec: &CecConfig) -> 
         let mut stats = Vec::new();
         for pass in &pipeline.passes {
             let before = g.clone();
-            let s = pass.run(&mut g);
+            let (s, _) = pass.run(&mut g, &mut ctx);
             checked_stages += 1;
             match check_equivalence(&before, &g, cec) {
                 Ok(out) => {
@@ -554,6 +690,7 @@ pub fn optimize_verified(subject: &Aig, config: &OptConfig, cec: &CecConfig) -> 
                             verdict = CecVerdict::NotEquivalent(cex);
                             failed_pass = Some(s.pass);
                             g = before;
+                            ctx.invalidate_all();
                             stats.push(s);
                             rounds.push(stats);
                             break 'rounds;
@@ -574,6 +711,7 @@ pub fn optimize_verified(subject: &Aig, config: &OptConfig, cec: &CecConfig) -> 
                     verdict = CecVerdict::Unknown;
                     failed_pass = Some(s.pass);
                     g = before;
+                    ctx.invalidate_all();
                     stats.push(s);
                     rounds.push(stats);
                     break 'rounds;
@@ -588,6 +726,7 @@ pub fn optimize_verified(subject: &Aig, config: &OptConfig, cec: &CecConfig) -> 
         let (nodes, depth) = (g.and_count(), g.depth());
         if nodes > prev_nodes || depth > prev_depth {
             g = snapshot; // same guard as Pipeline::run_until_fixpoint
+            ctx.invalidate_all();
             break;
         }
         rounds.push(stats);
@@ -605,6 +744,7 @@ pub fn optimize_verified(subject: &Aig, config: &OptConfig, cec: &CecConfig) -> 
             nodes_after: g.and_count(),
             depth_before,
             depth_after: g.depth(),
+            analysis: ctx.counters(),
         },
         aig: g,
         verdict,
@@ -640,6 +780,10 @@ mod tests {
             parse_passes("rewrite-slack,balance-slack").unwrap(),
             vec![PassKind::RewriteSlack, PassKind::BalanceSlack]
         );
+        assert_eq!(
+            parse_passes("rewrite-dff").unwrap(),
+            vec![PassKind::RewriteDff(DEFAULT_DFF_PHASES)]
+        );
         let err = parse_passes("strash,frobnicate").unwrap_err();
         assert!(
             err.contains("frobnicate") && err.contains("balance"),
@@ -668,6 +812,16 @@ mod tests {
             fp(&OptConfig::slack_aware()),
             "the slack-aware pipeline must key differently"
         );
+        assert_ne!(
+            fp(&OptConfig::slack_aware()),
+            fp(&OptConfig::dff_aware(4)),
+            "the DFF-objective pipeline must key differently"
+        );
+        assert_ne!(
+            fp(&OptConfig::dff_aware(4)),
+            fp(&OptConfig::dff_aware(8)),
+            "the DFF phase count must key"
+        );
     }
 
     #[test]
@@ -680,6 +834,30 @@ mod tests {
         g.add_po(top);
         let (nodes0, depth0) = (g.and_count(), g.depth());
         let (opt, report) = optimize(&g, &OptConfig::slack_aware());
+        assert!(report.nodes_after <= nodes0);
+        assert!(report.depth_after <= depth0, "depth guard holds");
+        for i in 0..64u32 {
+            let bits: Vec<bool> = (0..6).map(|k| i >> k & 1 == 1).collect();
+            assert_eq!(g.eval(&bits), opt.eval(&bits), "input {i}");
+        }
+    }
+
+    #[test]
+    fn dff_aware_pipeline_never_regresses() {
+        let mut g = Aig::new();
+        let pis: Vec<_> = (0..6).map(|_| g.add_pi()).collect();
+        let m = g.maj3(pis[0], pis[1], pis[2]);
+        let x = g.xor3(pis[3], pis[4], pis[5]);
+        let deep = {
+            let mut acc = g.and(m, x);
+            for &p in &pis[..4] {
+                acc = g.and(acc, p);
+            }
+            acc
+        };
+        g.add_po(deep);
+        let (nodes0, depth0) = (g.and_count(), g.depth());
+        let (opt, report) = optimize(&g, &OptConfig::dff_aware(4));
         assert!(report.nodes_after <= nodes0);
         assert!(report.depth_after <= depth0, "depth guard holds");
         for i in 0..64u32 {

@@ -22,12 +22,37 @@
 //!   against the levels the network will actually have. Network depth
 //!   still never increases: every node's realized level stays bounded by
 //!   its required time (roots by the acceptance test, everything else by
-//!   the required-time recurrence `required(fanin) ≤ required(node) − 1`).
+//!   the required-time recurrence `required(fanin) ≤ required(node) − 1`);
+//! - [`RewriteMode::DffAware`] — the slack-aware budget plus DFF-objective
+//!   site pricing: in an SFQ mapping every fanin edge spanning `g` logic
+//!   levels needs `⌈g/n⌉` path-balancing DFFs under `n`-phase clocking
+//!   (the per-edge accounting of the paper's §II-B, applied at unit
+//!   delay), so a cone's slack converts directly into balancing cost.
+//!   Candidate sites are scored `node_gain · n + (freed_edge_DFFs −
+//!   added_edge_DFFs)`: MFFC gains are weighted by how much DFF cost the
+//!   freed cone's slack spans induce, and a site that frees no nodes is
+//!   still accepted when it tightens edges enough to save DFFs — though
+//!   such a node-neutral site may not deepen the root: the per-edge
+//!   score is local, and consumed slack shifts gaps onto the consumers'
+//!   other fanin edges, a cost the score cannot see (node-saving sites
+//!   keep the full slack budget, node count being the primary objective
+//!   there). Node count never increases at a site and the depth budget
+//!   is unchanged, so the fixpoint guard invariants hold as in the other
+//!   modes.
 //!
 //! Accepted sites are committed in one reconstruction sweep: freed interior
 //! nodes are skipped, roots are instantiated from their class programs, and
 //! everything else is copied through structural hashing.
+//!
+//! Analyses are consumed through the [`OptContext`] threaded down from the
+//! pass manager: levels are a cache hit when the previous pass preserved
+//! them, and the timing modes *take* the context's incrementally-maintained
+//! [`sfq_sta::AigSta`] (built from scratch at most once per pipeline run),
+//! feed accepted growth back through `raise_arrival`, and hand it back
+//! rebound to the reconstructed network — only the rebuilt cones are
+//! refreshed.
 
+use crate::analysis::OptContext;
 use crate::table::{Program, RewriteTable};
 use crate::util::mapped;
 use sfq_netlist::aig::{Aig, Lit, NodeId, NodeKind};
@@ -35,11 +60,14 @@ use sfq_netlist::cut::{enumerate_cuts, CutConfig};
 use sfq_netlist::mffc::Mffc;
 use sfq_netlist::npn::{npn_canonical, NpnCanon};
 use sfq_netlist::truth_table::TruthTable;
-use sfq_sta::AigSta;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Depth policy of the rewrite pass.
+/// The phase count `rewrite-dff` assumes when none is configured (the
+/// paper's Table-I evaluation point, n = 4).
+pub const DEFAULT_DFF_PHASES: u32 = 4;
+
+/// Depth/pricing policy of the rewrite pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RewriteMode {
     /// Reject any site whose estimated output level exceeds the root's
@@ -49,6 +77,10 @@ pub enum RewriteMode {
     /// Allow a site to grow up to the root's slack (required-time
     /// analysis); network depth is still never increased.
     SlackAware,
+    /// The slack-aware budget plus per-edge DFF-objective pricing (see the
+    /// module docs): gains are weighted by the balancing cost the freed
+    /// cone induces at its schedule slack.
+    DffAware,
 }
 
 /// Parameters of the rewrite pass.
@@ -56,8 +88,12 @@ pub enum RewriteMode {
 pub struct RewriteConfig {
     /// Priority-cut limit per node during enumeration.
     pub max_cuts: usize,
-    /// Depth policy.
+    /// Depth/pricing policy.
     pub mode: RewriteMode,
+    /// Clock-phase count `n` of the DFF-objective pricing (used by
+    /// [`RewriteMode::DffAware`] only): an edge spanning `g` levels costs
+    /// `⌈g/n⌉` DFFs.
+    pub dff_phases: u32,
 }
 
 impl Default for RewriteConfig {
@@ -76,6 +112,7 @@ impl RewriteConfig {
         RewriteConfig {
             max_cuts: Self::DEFAULT_MAX_CUTS,
             mode: RewriteMode::Conservative,
+            dff_phases: DEFAULT_DFF_PHASES,
         }
     }
 
@@ -83,6 +120,15 @@ impl RewriteConfig {
     pub fn slack_aware() -> Self {
         RewriteConfig {
             mode: RewriteMode::SlackAware,
+            ..Self::conservative()
+        }
+    }
+
+    /// The DFF-objective configuration under `n`-phase clocking.
+    pub fn dff_aware(n: u32) -> Self {
+        RewriteConfig {
+            mode: RewriteMode::DffAware,
+            dff_phases: n.max(1),
             ..Self::conservative()
         }
     }
@@ -100,10 +146,14 @@ struct Site {
 }
 
 /// Cost/level probe of instantiating `prog` with `inputs` against the
-/// existing network: returns `(new_nodes, output_level)` estimates, where
-/// strash hits on live nodes are free and everything else costs one node.
-/// Level estimates use current levels for hits, so they upper-bound the
-/// levels realized after reconstruction.
+/// existing network: returns `(new_nodes, output_level, new_edge_dffs)`
+/// estimates, where strash hits on live nodes are free and everything else
+/// costs one node. Level estimates use current levels for hits, so they
+/// upper-bound the levels realized after reconstruction. `new_edge_dffs`
+/// is the per-edge DFF cost of the *created* steps under `dff_phases`-phase
+/// clocking (0 when `dff_phases` is 0 — the non-DFF modes skip the
+/// accounting; strash hits contribute nothing since their edges already
+/// exist).
 fn estimate(
     aig: &Aig,
     levels: &[i64],
@@ -111,7 +161,8 @@ fn estimate(
     dead: &[bool],
     prog: &Program,
     inputs: &[Lit],
-) -> (usize, i64) {
+    dff_phases: u32,
+) -> (usize, i64, i64) {
     #[derive(Clone, Copy)]
     enum Slot {
         /// Exists in the network today (literal, level).
@@ -136,6 +187,18 @@ fn estimate(
         }
     };
     let mut cost = 0usize;
+    let mut new_dffs = 0i64;
+    // A created step at level `l = 1 + max(la, lb)` adds two fanin edges
+    // spanning `l − la − 1` and `l − lb − 1` levels; each spanned level
+    // block of `n` costs one path-balancing DFF.
+    let mut price_step = |la: i64, lb: i64| -> i64 {
+        let l = 1 + la.max(lb);
+        if dff_phases > 0 {
+            new_dffs += dffs_for_gap(l - la - 1, dff_phases);
+            new_dffs += dffs_for_gap(l - lb - 1, dff_phases);
+        }
+        l
+    };
     for &(a, b) in prog.steps() {
         let (ra, rb) = (resolve(&slots, a), resolve(&slots, b));
         let slot = if let (Slot::Known(la, lva), Slot::Known(lb, lvb)) = (ra, rb) {
@@ -146,28 +209,68 @@ fn estimate(
                         // The hit is being freed — it will not survive the
                         // reconstruction, so the step must be rebuilt.
                         cost += 1;
-                        Slot::New(1 + lva.max(lvb))
+                        Slot::New(price_step(lva, lvb))
                     } else {
                         Slot::Known(hit, levels[hn.index()])
                     }
                 }
                 None => {
                     cost += 1;
-                    Slot::New(1 + lva.max(lvb))
+                    Slot::New(price_step(lva, lvb))
                 }
             }
         } else {
             cost += 1;
-            Slot::New(1 + level_of(ra).max(level_of(rb)))
+            Slot::New(price_step(level_of(ra), level_of(rb)))
         };
         slots.push(slot);
     }
-    (cost, level_of(resolve(&slots, prog.out())))
+    (cost, level_of(resolve(&slots, prog.out())), new_dffs)
+}
+
+/// Path-balancing DFFs of one fanin edge spanning `gap` logic levels under
+/// `n`-phase clocking: `⌈gap/n⌉`, 0 for non-positive gaps. The unit-delay
+/// counterpart of `t1map::phase::edge_dff_objective`'s per-edge accounting
+/// (which floors adjacent-stage gate edges but ceils T1/PO spans; at the
+/// pre-mapping level the ceiling is the conservative upper bound).
+fn dffs_for_gap(gap: i64, n: u32) -> i64 {
+    if gap <= 0 {
+        return 0;
+    }
+    let n = i64::from(n);
+    gap.div_euclid(n) + i64::from(gap % n != 0)
+}
+
+/// Per-edge DFF cost of the fanin edges of `freed` at the current
+/// `arrivals` under `n`-phase clocking — the balancing cost the site's
+/// removal reclaims (the counterpart of `estimate`'s `new_edge_dffs`).
+fn freed_edge_dffs(aig: &Aig, arrivals: &[i64], freed: &[NodeId], n: u32) -> i64 {
+    let mut dffs = 0i64;
+    for &f in freed {
+        let (a, b) = aig.fanins(f).expect("freed nodes are ANDs");
+        for l in [a, b] {
+            dffs += dffs_for_gap(arrivals[f.index()] - arrivals[l.node().index()] - 1, n);
+        }
+    }
+    dffs
 }
 
 /// Rewrites `aig` once; returns the new network and the number of
-/// replacement sites committed.
+/// replacement sites committed. One-shot convenience over
+/// [`rewrite_network_ctx`] (every analysis is computed from scratch and
+/// dropped).
 pub fn rewrite_network(aig: &Aig, config: &RewriteConfig) -> (Aig, usize) {
+    rewrite_network_ctx(aig, config, &mut OptContext::scratch())
+}
+
+/// [`rewrite_network`] against the caller's analysis context: levels and
+/// the timing analysis are consumed from (and, for the timing modes,
+/// returned to) `ctx` instead of being rebuilt per invocation.
+pub fn rewrite_network_ctx(
+    aig: &Aig,
+    config: &RewriteConfig,
+    ctx: &mut OptContext,
+) -> (Aig, usize) {
     let cuts = enumerate_cuts(
         aig,
         &CutConfig {
@@ -175,15 +278,24 @@ pub fn rewrite_network(aig: &Aig, config: &RewriteConfig) -> (Aig, usize) {
             max_cuts: config.max_cuts,
         },
     );
-    let levels = aig.levels();
-    let static_levels: Vec<i64> = levels.iter().map(|&l| l as i64).collect();
-    // Slack-aware mode runs on the unit-delay required-time analysis; its
+    // The timing modes run on the unit-delay required-time analysis; its
     // arrival view starts at the static levels and is floored upward as
     // growing sites are accepted, so later estimates price against the
-    // post-rewrite cone depths.
+    // post-rewrite cone depths. The analysis is *taken* from the context —
+    // a cache hit or an incremental rebind, a from-scratch build only on
+    // the context's very first timing request.
     let mut sta = match config.mode {
         RewriteMode::Conservative => None,
-        RewriteMode::SlackAware => Some(AigSta::with_levels(aig, &levels)),
+        RewriteMode::SlackAware | RewriteMode::DffAware => Some(ctx.take_sta(aig)),
+    };
+    let static_levels: Vec<i64> = match &sta {
+        // The taken analysis carries the levels as arrivals already.
+        Some(_) => Vec::new(),
+        None => ctx.levels(aig).iter().map(|&l| i64::from(l)).collect(),
+    };
+    let dff_phases = match config.mode {
+        RewriteMode::DffAware => config.dff_phases.max(1),
+        _ => 0,
     };
     let mut mffc = Mffc::new(aig);
     let table = RewriteTable::global();
@@ -237,22 +349,47 @@ pub fn rewrite_network(aig: &Aig, config: &RewriteConfig) -> (Aig, usize) {
                 let neg = canon.input_neg >> i & 1 == 1;
                 inputs[canon.perm[i] as usize] = Lit::new(leaves[orig_var], neg);
             }
-            let (cost, out_level) = estimate(aig, arrivals, &freed, &dead, &program, &inputs);
+            let (cost, out_level, new_dffs) =
+                estimate(aig, arrivals, &freed, &dead, &program, &inputs, dff_phases);
             if out_level > level_limit {
                 continue; // would exceed the site's depth budget
             }
-            let gain = freed.len() as i64 - cost as i64;
-            if gain <= 0 {
+            let node_gain = freed.len() as i64 - cost as i64;
+            // DFF mode, node-neutral site: the per-edge score only sees the
+            // site's own edges, and deepening the root shifts level gaps
+            // onto its consumers' *other* fanin edges — an unmodeled cost
+            // that can turn a local "DFF win" into a global loss. A pure
+            // DFF play therefore may not consume slack: it must hold the
+            // root's current level, so the surrounding gaps are unchanged
+            // and the scored delta is the real one.
+            if dff_phases > 0 && node_gain == 0 && out_level > arrivals[root.index()] {
                 continue;
             }
-            // Tiebreak equal gains toward the shallower implementation so
-            // slack is only consumed when it buys nodes.
+            // The score the site is selected by: plain node gain in the
+            // conservative/slack modes; in DFF mode, node gain weighted by
+            // the phase count plus the per-edge DFF delta, so freeing a
+            // slack-heavy cone (whose long edges cost balancing DFFs)
+            // outranks freeing a tight one, and a node-neutral rewiring is
+            // still profitable when it saves DFFs. Node count never
+            // increases at a site in any mode.
+            let score = if dff_phases > 0 {
+                node_gain * i64::from(dff_phases)
+                    + freed_edge_dffs(aig, arrivals, &freed, dff_phases)
+                    - new_dffs
+            } else {
+                node_gain
+            };
+            if node_gain < 0 || score <= 0 {
+                continue;
+            }
+            // Tiebreak equal scores toward the shallower implementation so
+            // slack is only consumed when it buys something.
             if best
                 .as_ref()
-                .is_none_or(|&(g, lv, ..)| (gain, -out_level) > (g, -lv))
+                .is_none_or(|&(s, lv, ..)| (score, -out_level) > (s, -lv))
             {
                 best = Some((
-                    gain,
+                    score,
                     out_level,
                     Site {
                         program,
@@ -308,6 +445,13 @@ pub fn rewrite_network(aig: &Aig, config: &RewriteConfig) -> (Aig, usize) {
     }
     for &po in aig.pos() {
         out.add_po(mapped(&map, po));
+    }
+    if let Some(sta) = sta.take() {
+        // Hand the analysis back rebound to the reconstructed network:
+        // floors are cleared and only the changed cones are refreshed, so
+        // the next timing consumer (this pass's next round, or a later
+        // balance-slack) gets an exact analysis without a rebuild.
+        ctx.finish_sta(sta, &out);
     }
     (out, applied)
 }

@@ -122,6 +122,49 @@ proptest! {
     }
 
     #[test]
+    fn rebind_matches_scratch_across_arbitrary_restructuring(
+        seed_a in any::<u64>(),
+        gates_a in 8usize..64,
+        seed_b in any::<u64>(),
+        gates_b in 8usize..64,
+        floors in proptest::collection::vec((any::<u32>(), 0i64..6), 0..6),
+    ) {
+        // Analyze one network, consume slack through arrival floors (the
+        // slack-aware-rewrite usage pattern), then rebind the analysis to a
+        // completely unrelated network: the result must be exactly what a
+        // from-scratch analysis of the new network computes.
+        let a = subject(seed_a, gates_a);
+        let b = subject(seed_b, gates_b);
+        let mut sta = AigSta::new(&a);
+        let ids: Vec<_> = a.node_ids().collect();
+        for (pick, extra) in floors {
+            let node = ids[pick as usize % ids.len()];
+            let cur = sta.arrival(node);
+            sta.raise_arrival(node, cur + extra);
+        }
+        let stats = sta.rebind(&b);
+        prop_assert_eq!(stats.total, b.len());
+        let fresh = AigSta::new(&b);
+        prop_assert_eq!(sta.horizon(), fresh.horizon());
+        prop_assert_eq!(
+            sta.analysis(),
+            fresh.analysis(),
+            "rebound analysis diverged from scratch"
+        );
+    }
+
+    #[test]
+    fn rebind_to_the_same_network_is_cheap(seed in any::<u64>(), gates in 8usize..64) {
+        let aig = subject(seed, gates);
+        let mut sta = AigSta::new(&aig);
+        let stats = sta.rebind(&aig);
+        prop_assert_eq!(stats.dirty, 0, "identical network: empty dirty set");
+        prop_assert_eq!(stats.refreshed, 0);
+        let fresh = AigSta::new(&aig);
+        prop_assert_eq!(sta.analysis(), fresh.analysis());
+    }
+
+    #[test]
     fn incremental_floors_match_scratch(
         seed in any::<u64>(),
         gates in 8usize..64,

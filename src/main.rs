@@ -23,10 +23,18 @@
 //! opt options:
 //!   --passes LIST    comma-separated pass sequence (default strash,sweep,rewrite,balance)
 //!   --slack-aware    use the slack-aware pipeline (rewrite may consume per-site slack)
+//!   --dff-aware      use the DFF-objective pipeline (sites priced by per-edge DFF
+//!                    cost under --phases clocking, default 4; --phases also
+//!                    parameterizes rewrite-dff named via --passes, and errors
+//!                    when no DFF-objective pass would read it)
 //!   --fixpoint       iterate the sequence to convergence (guarded)
 //!   --rounds N       fixpoint round limit (default 8)
 //!   --verify         CEC the result against the input (simulation + SAT miter)
+//!   --stats          per-pass table: node/depth deltas, analysis cache hits,
+//!                    STA nodes refreshed vs rebuilt, wall time per pass
 //!   -o FILE          write the optimized network as AIGER
+//!
+//! Unknown `opt` flags are a hard error listing every flag and pass name.
 //!
 //! sta options:
 //!   --mapped         analyze the mapped + scheduled netlist (phase-granular
@@ -44,7 +52,9 @@ use sfq_t1::circuits::{epfl, iscas};
 use sfq_t1::engine::SuiteRunner;
 use sfq_t1::netlist::aiger;
 use sfq_t1::netlist::Aig;
-use sfq_t1::opt::{optimize, optimize_verified, parse_passes, CecConfig, CecVerdict, OptConfig};
+use sfq_t1::opt::{
+    optimize, optimize_verified, parse_passes, CecConfig, CecVerdict, OptConfig, PassKind,
+};
 use sfq_t1::t1map::cells::CellLibrary;
 use sfq_t1::t1map::flow::{run_flow, FlowConfig, PhaseEngine};
 use sfq_t1::t1map::report::{TableOne, TableRow};
@@ -164,9 +174,54 @@ fn load_subject(name: &str, width: usize) -> Result<Aig, String> {
     }
 }
 
+/// Flags the `opt` subcommand accepts (`true` = the flag consumes the next
+/// argument as its value). Anything else starting with `-` is a hard error
+/// — see [`reject_unknown_flags`].
+const OPT_FLAGS: [(&str, bool); 9] = [
+    ("--passes", true),
+    ("--slack-aware", false),
+    ("--dff-aware", false),
+    ("--phases", true),
+    ("--fixpoint", false),
+    ("--rounds", true),
+    ("--verify", false),
+    ("--stats", false),
+    ("-o", true),
+];
+
+/// Hard-errors on any `-`-prefixed argument outside `known`, listing every
+/// accepted flag **and** every pass name — the same no-silent-typo policy
+/// as unknown benchmark and pass names.
+fn reject_unknown_flags(cmd: &str, args: &[String], known: &[(&str, bool)]) -> Result<(), String> {
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if !a.starts_with('-') {
+            continue;
+        }
+        match known.iter().find(|(n, _)| n == a) {
+            Some(&(_, takes_value)) => skip_value = takes_value,
+            None => {
+                let flags: Vec<&str> = known.iter().map(|&(n, _)| n).collect();
+                let passes: Vec<&str> = PassKind::KNOWN.iter().map(|p| p.name()).collect();
+                return Err(format!(
+                    "{cmd}: unknown flag '{a}' (flags: {}; known passes: {})",
+                    flags.join(", "),
+                    passes.join(", ")
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Runs the `sfq-opt` pipeline standalone: per-pass stats table, optional
 /// fixpoint iteration, optional SAT-checked equivalence, optional export.
 fn cmd_opt(args: &[String]) -> Result<(), String> {
+    reject_unknown_flags("opt", args, &OPT_FLAGS)?;
     let name = args
         .first()
         .filter(|a| !a.starts_with('-'))
@@ -179,13 +234,53 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         .unwrap_or(0);
     let aig = load_subject(name, width)?;
 
+    if has_flag(args, "--slack-aware") && has_flag(args, "--dff-aware") {
+        return Err("opt: --slack-aware and --dff-aware are mutually exclusive".into());
+    }
+    // --passes replaces the whole pipeline, so combining it with a preset
+    // selector would silently discard the preset — hard-error instead.
+    if flag_value(args, "--passes").is_some()
+        && (has_flag(args, "--slack-aware") || has_flag(args, "--dff-aware"))
+    {
+        return Err(
+            "opt: --passes replaces the whole pipeline; drop --slack-aware/--dff-aware \
+             and name the passes directly (e.g. --passes strash,sweep,rewrite-dff,balance)"
+                .into(),
+        );
+    }
     let mut config = if has_flag(args, "--slack-aware") {
         OptConfig::slack_aware()
+    } else if has_flag(args, "--dff-aware") {
+        OptConfig::dff_aware(4)
     } else {
         OptConfig::standard()
     };
     if let Some(list) = flag_value(args, "--passes") {
         config.passes = parse_passes(list)?;
+    }
+    // --phases parameterizes DFF-objective rewriting wherever it came from
+    // (--dff-aware or a --passes list naming rewrite-dff); anywhere else it
+    // would be a silent no-op, which is a hard error like any unknown flag.
+    if let Some(p) = flag_value(args, "--phases") {
+        let n: u32 = p
+            .parse()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --phases: '{p}' is not a positive integer"))?;
+        let mut applied = false;
+        for kind in &mut config.passes {
+            if let PassKind::RewriteDff(m) = kind {
+                *m = n;
+                applied = true;
+            }
+        }
+        if !applied {
+            return Err(
+                "opt: --phases only affects DFF-objective rewriting (use --dff-aware or \
+                 --passes ...,rewrite-dff,...)"
+                    .into(),
+            );
+        }
     }
     config.fixpoint = has_flag(args, "--fixpoint");
     if let Some(r) = flag_value(args, "--rounds") {
@@ -236,6 +331,43 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
             ""
         }
     );
+
+    if has_flag(args, "--stats") {
+        println!(
+            "\n{:>5} {:<13} {:>15} {:>10} {:>7} {:>5} {:>6} {:>13} {:>9}",
+            "round", "pass", "nodes", "depth", "applied", "hits", "inval", "STA refr/bld", "µs"
+        );
+        for (round, stats) in report.rounds.iter().enumerate() {
+            for s in stats {
+                println!(
+                    "{:>5} {:<13} {:>7}->{:<7} {:>4}->{:<5} {:>7} {:>5} {:>6} {:>9}/{:<3} {:>9}",
+                    round + 1,
+                    s.pass,
+                    s.nodes_before,
+                    s.nodes_after,
+                    s.depth_before,
+                    s.depth_after,
+                    s.applied,
+                    s.cache_hits,
+                    s.invalidations,
+                    s.sta_refreshed,
+                    s.sta_builds,
+                    s.micros
+                );
+            }
+        }
+        let a = &report.analysis;
+        println!(
+            "analysis cache: {} hits, {} invalidations, {} recomputes, {} STA builds, \
+             {} rebinds ({} STA nodes refreshed incrementally)",
+            a.cache_hits,
+            a.invalidations,
+            a.recomputes,
+            a.sta_full_builds,
+            a.sta_rebinds,
+            a.sta_nodes_refreshed
+        );
+    }
 
     if let Some(run) = verified {
         match run.verdict {
