@@ -6,7 +6,8 @@
 //! malformed `--jobs` is a hard error, never a silently dropped file or a
 //! silent fallback to the default worker count.
 
-use sfq_engine::default_workers;
+use sfq_engine::{default_workers, DiskStore, ResultCache};
+use std::sync::Arc;
 
 /// Parses `--csv <path>`: `Ok(Some(path))` when present with a path,
 /// `Ok(None)` when absent, and an error when the path is missing or looks
@@ -25,6 +26,30 @@ pub fn csv_flag(args: &[String]) -> Result<Option<String>, String> {
 /// on every job of the suite.
 pub fn pre_opt_flag(args: &[String]) -> bool {
     args.iter().any(|a| a == "--pre-opt")
+}
+
+/// Parses `--cache-dir <dir>`: `Ok(Some(dir))` when present with a path,
+/// `Ok(None)` when absent, and an error when the path is missing or looks
+/// like another flag.
+pub fn cache_dir_flag(args: &[String]) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == "--cache-dir") else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(dir) if !dir.starts_with('-') => Ok(Some(dir.clone())),
+        _ => Err("--cache-dir requires a directory (e.g. --cache-dir .sfq-cache)".to_string()),
+    }
+}
+
+/// Parses `--cache-dir` and, when present, opens the persistent store under
+/// it: an in-memory [`ResultCache`] layered over a [`DiskStore`], ready to
+/// hand to [`SuiteRunner::with_store`](sfq_engine::SuiteRunner::with_store).
+pub fn store_flag(args: &[String]) -> Result<Option<Arc<ResultCache>>, String> {
+    let Some(dir) = cache_dir_flag(args)? else {
+        return Ok(None);
+    };
+    let disk = DiskStore::open(&dir).map_err(|e| format!("--cache-dir {dir}: {e}"))?;
+    Ok(Some(Arc::new(ResultCache::with_backing(Arc::new(disk)))))
 }
 
 /// Parses `--jobs <N>` (N ≥ 1), defaulting to the machine's available
@@ -62,6 +87,18 @@ mod tests {
             csv_flag(&args(&["--csv", "--small"])).is_err(),
             "flag where the path should be"
         );
+    }
+
+    #[test]
+    fn cache_dir_present_absent_and_missing_path() {
+        assert_eq!(
+            cache_dir_flag(&args(&["--cache-dir", "store"])).unwrap(),
+            Some("store".into())
+        );
+        assert_eq!(cache_dir_flag(&args(&["--small"])).unwrap(), None);
+        assert!(cache_dir_flag(&args(&["--cache-dir"])).is_err());
+        assert!(cache_dir_flag(&args(&["--cache-dir", "--small"])).is_err());
+        assert!(store_flag(&args(&[])).unwrap().is_none());
     }
 
     #[test]

@@ -20,17 +20,21 @@
 //!    scratch rebuilds, with byte-identical results asserted per row.
 //!
 //! ```sh
-//! cargo run --release -p sfq-bench --bin ablation [-- --jobs N] [--pre-opt] [--small|--paper]
+//! cargo run --release -p sfq-bench --bin ablation \
+//!     [-- --jobs N] [--pre-opt] [--small|--paper] [--cache-dir DIR]
 //! ```
 //!
 //! `--pre-opt` additionally runs the phase sweep itself on pre-optimized
 //! networks. The benchmark-suite sections (`abl-opt`, `abl-sta`,
 //! `abl-ctx`) run at small scale by default (`--small` spells it out, as
-//! CI does); `--paper` selects the full Table-I widths.
+//! CI does); `--paper` selects the full Table-I widths. With `--cache-dir`
+//! every engine-backed section shares one persistent result store, so
+//! repeated runs (and other front ends pointed at the same directory) skip
+//! already-computed flows.
 
 use sfq_bench::{
-    jobs_flag, opt_sweep_jobs, phase_sweep_jobs_with, pre_opt_flag, progress_line,
-    slack_sweep_jobs, BenchmarkScale, SWEEP_PHASES,
+    jobs_flag, opt_sweep_jobs, phase_sweep_jobs_with, pre_opt_flag, progress_event, progress_line,
+    slack_sweep_jobs, store_flag, BenchmarkScale, SWEEP_PHASES,
 };
 use sfq_circuits::epfl;
 use sfq_engine::SuiteRunner;
@@ -52,6 +56,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // One runner for every engine-backed section; with --cache-dir it is
+    // backed by the shared persistent store.
+    let mut runner = SuiteRunner::new(workers);
+    match store_flag(&args) {
+        Ok(Some(store)) => runner = runner.with_store(store),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let pre_opt = pre_opt_flag(&args);
     // The suite sections run small-scale unless --paper asks for Table-I
@@ -78,16 +94,7 @@ fn main() -> ExitCode {
     // Each sweep point submits (baseline, T1, shared 1φ reference); the
     // engine's content-addressed cache computes the repeated 1φ job once.
     let jobs = phase_sweep_jobs_with("adder64", &aig, &lib, pre_opt);
-    let report = SuiteRunner::new(workers).run_with_progress(&jobs, |o| {
-        progress_line(format_args!(
-            "  [{:>2}/{}] {:<14} {} in {:>7.1?}",
-            o.completed,
-            o.total,
-            o.job.label(),
-            if o.cache_hit { "cached" } else { "mapped" },
-            o.duration
-        ));
-    });
+    let report = runner.run_with_progress(&jobs, |o| progress_event(&o));
     for (n, triple) in SWEEP_PHASES.iter().zip(report.results.chunks(3)) {
         let (base, t1) = (&triple[0].stats, &triple[1].stats);
         println!(
@@ -113,7 +120,7 @@ fn main() -> ExitCode {
         jobs.len(),
         report.workers,
         report.elapsed,
-        report.cache.hits,
+        report.cache.hits(),
         report.cache.misses
     ));
 
@@ -298,7 +305,7 @@ fn main() -> ExitCode {
         use sfq_opt::{optimize, OptConfig};
         let scale = suite_scale;
         let jobs = opt_sweep_jobs(&scale, 4, &lib);
-        let report = SuiteRunner::new(workers).run(&jobs);
+        let report = runner.run(&jobs);
         for (pair, job) in report.results.chunks(2).zip(jobs.iter().step_by(2)) {
             let (_, opt_report) = optimize(&job.aig, &OptConfig::standard());
             let (plain, opted) = (&pair[0].stats, &pair[1].stats);
@@ -330,7 +337,7 @@ fn main() -> ExitCode {
     {
         let scale = suite_scale;
         let jobs = slack_sweep_jobs(&scale, 4, &lib);
-        let report = SuiteRunner::new(workers).run(&jobs);
+        let report = runner.run(&jobs);
         let mut node_wins = 0usize;
         for (pair, job) in report.results.chunks(2).zip(jobs.iter().step_by(2)) {
             // The flows already ran both pre-opt pipelines inside the

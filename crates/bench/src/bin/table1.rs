@@ -4,20 +4,22 @@
 //! All benchmark×flow jobs are submitted up front to the `sfq-engine`
 //! worker pool; results come back in deterministic input order, so the
 //! table on stdout is byte-identical for every `--jobs` value (progress and
-//! timing go to stderr).
+//! timing go to stderr). With `--cache-dir` the run is backed by the
+//! persistent result store: a second run over a populated store performs
+//! zero flow computations and prints a `store:` breakdown saying so.
 //!
 //! ```sh
 //! cargo run --release -p sfq-bench --bin table1 -- \
-//!     [--small] [--pre-opt] [--jobs N] [--csv out.csv]
+//!     [--small] [--pre-opt] [--jobs N] [--csv out.csv] [--cache-dir DIR]
 //! ```
 
 use sfq_bench::{
-    csv_flag, jobs_flag, pre_opt_flag, progress_line, table1_jobs_with, BenchmarkScale,
+    csv_flag, jobs_flag, pre_opt_flag, progress_event, progress_line, store_flag, store_summary,
+    suite_summary, table1_jobs_with, table_one, BenchmarkScale,
 };
 use sfq_engine::SuiteRunner;
 use std::process::ExitCode;
 use t1map::cells::CellLibrary;
-use t1map::report::{TableOne, TableRow};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,6 +37,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let pre_opt = pre_opt_flag(args);
     let csv_path = csv_flag(args)?;
     let workers = jobs_flag(args)?;
+    let store = store_flag(args)?;
 
     let scale = if small {
         BenchmarkScale::small()
@@ -51,40 +54,22 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     let jobs = table1_jobs_with(&scale, n, &lib, pre_opt);
-    let report = SuiteRunner::new(workers).run_with_progress(&jobs, |o| {
-        progress_line(format_args!(
-            "  [{:>2}/{}] {:<14} {:>6} ANDs  {} in {:>7.1?}",
-            o.completed,
-            o.total,
-            o.job.label(),
-            o.job.aig.and_count(),
-            if o.cache_hit { "cached" } else { "mapped" },
-            o.duration
-        ));
-    });
-
-    let mut table = TableOne::new();
-    for (triple, job) in report.results.chunks(3).zip(jobs.iter().step_by(3)) {
-        table.push(TableRow::from_stats(
-            &job.name,
-            triple[0].stats,
-            triple[1].stats,
-            triple[2].stats,
-        ));
+    let mut runner = SuiteRunner::new(workers);
+    if let Some(store) = &store {
+        runner = runner.with_store(store.clone());
     }
+    let report = runner.run_with_progress(&jobs, |o| progress_event(&o));
+
+    let table = table_one(&jobs, &report);
     println!("\n{table}");
     println!(
         "paper averages for comparison: DFF T1/1φ 0.35, T1/4φ 0.94; \
          area 0.59 / 0.94; depth 0.29 / 1.13"
     );
-    progress_line(format_args!(
-        "suite: {} jobs on {} workers in {:.1?} ({} cache hits, {} flow runs)",
-        jobs.len(),
-        report.workers,
-        report.elapsed,
-        report.cache.hits,
-        report.cache.misses
-    ));
+    if store.is_some() {
+        println!("{}", store_summary(&report));
+    }
+    progress_line(suite_summary(jobs.len(), &report));
 
     if let Some(path) = csv_path {
         std::fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;

@@ -24,8 +24,12 @@ use t1map::flow::FlowConfig;
 
 pub mod args;
 pub mod progress;
-pub use args::{csv_flag, jobs_flag, pre_opt_flag};
+pub mod rows;
+pub use args::{cache_dir_flag, csv_flag, jobs_flag, pre_opt_flag, store_flag};
 pub use progress::progress_line;
+pub use rows::{
+    progress_event, result_rows, rows_csv, store_summary, suite_summary, table_one, ResultRow,
+};
 
 /// Operand widths used for the Table-I reproduction.
 ///
@@ -113,7 +117,7 @@ pub fn table1_jobs_with(
 ) -> Vec<Job> {
     let stage = |config: FlowConfig| {
         if pre_opt {
-            config.with_pre_opt()
+            config.to_builder().standard_opt().build()
         } else {
             config
         }
@@ -159,7 +163,7 @@ pub fn phase_sweep_jobs_with(
 ) -> Vec<Job> {
     let stage = |config: FlowConfig| {
         if pre_opt {
-            config.with_pre_opt()
+            config.to_builder().standard_opt().build()
         } else {
             config
         }
@@ -208,7 +212,7 @@ pub fn opt_sweep_jobs(scale: &BenchmarkScale, n: u32, lib: &CellLibrary) -> Vec<
             "T1+opt",
             aig.clone(),
             *lib,
-            FlowConfig::t1(n).with_pre_opt(),
+            FlowConfig::t1(n).to_builder().standard_opt().build(),
         ));
     }
     jobs
@@ -230,14 +234,14 @@ pub fn slack_sweep_jobs(scale: &BenchmarkScale, n: u32, lib: &CellLibrary) -> Ve
             "T1+opt",
             aig.clone(),
             *lib,
-            FlowConfig::t1(n).with_pre_opt(),
+            FlowConfig::t1(n).to_builder().standard_opt().build(),
         ));
         jobs.push(Job::new(
             name,
             "T1+slack",
             aig.clone(),
             *lib,
-            FlowConfig::t1(n).with_slack_opt(),
+            FlowConfig::t1(n).to_builder().slack_opt().build(),
         ));
     }
     jobs

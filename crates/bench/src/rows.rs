@@ -1,0 +1,172 @@
+//! Shared result-row formatting for every suite front end.
+//!
+//! `table1`, `ablation` and the CLI `suite` subcommand all turn a job list
+//! plus a [`SuiteReport`] into rows, progress lines, summary lines and CSV.
+//! One implementation keeps the three front ends byte-identical where they
+//! overlap — in particular, the engine's submission-ordered results make
+//! every function here independent of worker count, so `--jobs 1` and
+//! `--jobs N` produce identical tables and CSV.
+
+use sfq_engine::{Job, JobOutcome, SuiteReport};
+use t1map::flow::FlowStats;
+use t1map::report::{TableOne, TableRow};
+
+use crate::progress_line;
+
+/// One job's result, labelled for rendering: the benchmark and flow names
+/// from the [`Job`] plus the aggregate [`FlowStats`] of its result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultRow {
+    /// Benchmark name (e.g. `"adder"`).
+    pub name: String,
+    /// Flow label (e.g. `"1φ"`, `"T1@4φ"`).
+    pub flow: String,
+    /// Aggregate metrics of the result.
+    pub stats: FlowStats,
+}
+
+impl ResultRow {
+    /// `name/flow`, matching [`Job::label`].
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.name, self.flow)
+    }
+}
+
+/// Pairs each submitted job with its (submission-ordered) result.
+///
+/// # Panics
+///
+/// Panics if `report` was produced from a different job list.
+pub fn result_rows(jobs: &[Job], report: &SuiteReport) -> Vec<ResultRow> {
+    assert_eq!(
+        jobs.len(),
+        report.results.len(),
+        "report does not match the job list"
+    );
+    jobs.iter()
+        .zip(&report.results)
+        .map(|(job, result)| ResultRow {
+            name: job.name.clone(),
+            flow: job.flow.clone(),
+            stats: result.stats,
+        })
+        .collect()
+}
+
+/// Per-job CSV over [`ResultRow`]s: one line per row in submission order,
+/// with a header. Used by the sweep-style front ends; the Table-I front
+/// ends use [`table_one`] (ratio columns and averages) instead.
+pub fn rows_csv(rows: &[ResultRow]) -> String {
+    let mut csv = String::from(
+        "benchmark,flow,t1_found,t1_used,gates,dffs,splitters,cell_area,area,depth_cycles\n",
+    );
+    for r in rows {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            r.name,
+            r.flow,
+            r.stats.t1_found,
+            r.stats.t1_used,
+            r.stats.gates,
+            r.stats.dffs,
+            r.stats.splitters,
+            r.stats.cell_area,
+            r.stats.area,
+            r.stats.depth_cycles
+        ));
+    }
+    csv
+}
+
+/// Assembles the Table-I view from a suite laid out as consecutive
+/// `(1φ, nφ, T1)` triples (the layout of
+/// [`table1_jobs`](crate::table1_jobs)).
+///
+/// # Panics
+///
+/// Panics if the job list is not a whole number of triples or does not
+/// match the report.
+pub fn table_one(jobs: &[Job], report: &SuiteReport) -> TableOne {
+    assert_eq!(
+        jobs.len(),
+        report.results.len(),
+        "report does not match the job list"
+    );
+    assert_eq!(jobs.len() % 3, 0, "Table-I suites are (1φ, nφ, T1) triples");
+    let mut table = TableOne::new();
+    for (triple, job) in report.results.chunks(3).zip(jobs.iter().step_by(3)) {
+        table.push(TableRow::from_stats(
+            &job.name,
+            triple[0].stats,
+            triple[1].stats,
+            triple[2].stats,
+        ));
+    }
+    table
+}
+
+/// The shared per-job progress line (stderr): completion counter, label,
+/// subject size, result source and duration.
+pub fn progress_event(o: &JobOutcome<'_>) {
+    progress_line(format_args!(
+        "  [{:>2}/{}] {:<14} {:>6} ANDs  {} in {:>7.1?}",
+        o.completed,
+        o.total,
+        o.job.label(),
+        o.job.aig.and_count(),
+        o.source.label(),
+        o.duration
+    ));
+}
+
+/// The shared end-of-suite summary line (for [`progress_line`]).
+pub fn suite_summary(jobs: usize, report: &SuiteReport) -> String {
+    let c = &report.cache;
+    format!(
+        "suite: {} jobs on {} workers in {:.1?} ({} cache hits, {} flow runs)",
+        jobs,
+        report.workers,
+        report.elapsed,
+        c.hits(),
+        c.misses
+    )
+}
+
+/// Per-backend store breakdown (stdout when a persistent store is in use,
+/// and `suite --stats`). The "flow runs" figure is what warm-start CI greps
+/// for: a second run over a populated store must report `0 flow runs`.
+pub fn store_summary(report: &SuiteReport) -> String {
+    let c = &report.cache;
+    format!(
+        "store: {} memory hits, {} disk hits, {} flow runs, {} disk entries \
+         ({} disk reads failed)",
+        c.memory_hits, c.disk_hits, c.misses, c.disk.entries, c.disk.errors
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{table1_jobs, BenchmarkScale};
+    use sfq_engine::SuiteRunner;
+    use t1map::cells::CellLibrary;
+
+    #[test]
+    fn rows_and_csv_are_independent_of_worker_count() {
+        let lib = CellLibrary::default();
+        let jobs = table1_jobs(&BenchmarkScale::small(), 4, &lib);
+        let serial = SuiteRunner::new(1).run(&jobs);
+        let parallel = SuiteRunner::new(4).run(&jobs);
+
+        let rows1 = result_rows(&jobs, &serial);
+        let rows_n = result_rows(&jobs, &parallel);
+        assert_eq!(rows1, rows_n);
+        assert_eq!(rows_csv(&rows1), rows_csv(&rows_n), "per-job CSV");
+        assert_eq!(
+            table_one(&jobs, &serial).to_csv(),
+            table_one(&jobs, &parallel).to_csv(),
+            "Table-I CSV"
+        );
+        assert_eq!(rows1[0].label(), "adder/1φ");
+    }
+}

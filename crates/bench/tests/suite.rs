@@ -18,7 +18,11 @@ fn phase_sweep_reports_cache_hits_for_the_shared_baseline() {
     // One 1φ reference per sweep point, identical content → exactly one
     // computation and hits for every other request.
     let expected_hits = (SWEEP_PHASES.len() - 1) as u64;
-    assert_eq!(report.cache.hits, expected_hits, "shared baselines reused");
+    assert_eq!(
+        report.cache.hits(),
+        expected_hits,
+        "shared baselines reused"
+    );
     assert_eq!(
         report.cache.misses,
         (jobs.len() as u64) - expected_hits,
@@ -41,7 +45,7 @@ fn table1_small_suite_runs_in_parallel_with_paper_shape() {
 
     // Row-major triples: per benchmark, T1 beats the 1φ baseline on area
     // (the paper's headline claim) and the three flows are distinct jobs.
-    assert_eq!(report.cache.hits, 0, "Table I has no duplicate jobs");
+    assert_eq!(report.cache.hits(), 0, "Table I has no duplicate jobs");
     for (i, triple) in report.results.chunks(3).enumerate() {
         let (single, t1) = (&triple[0].stats, &triple[2].stats);
         assert!(

@@ -175,7 +175,7 @@ pub fn build_chain(source: i64, reqs: &[Requirement], n: i64) -> Chain {
 }
 
 /// The DFF chain of one driver, with its consumers.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DriverPlan {
     /// Driving cell and output port.
     pub source: (CellId, u8),
@@ -188,7 +188,7 @@ pub struct DriverPlan {
 }
 
 /// Complete DFF-insertion plan for a scheduled netlist.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DffPlan {
     /// Per-driver chains (only drivers with at least one consumer).
     pub drivers: Vec<DriverPlan>,

@@ -106,34 +106,112 @@ impl FlowConfig {
         self.timing.fingerprint(h);
     }
 
-    /// This configuration with the standard pre-mapping optimization stage
-    /// enabled (`--pre-opt` on the CLI and the bench binaries).
-    pub fn with_pre_opt(mut self) -> Self {
-        self.pre_opt = OptConfig::standard();
+    /// Starts a [`FlowBuilder`] at `n` phases with every optional stage
+    /// disabled — the single entry point for composing flow variants
+    /// (replaces the removed `with_pre_opt`/`with_slack_opt`/
+    /// `with_dff_opt`/`with_timing` accretion methods).
+    pub fn builder(phases: u32) -> FlowBuilder {
+        FlowBuilder {
+            cfg: FlowConfig {
+                phases,
+                ..Self::single_phase()
+            },
+        }
+    }
+
+    /// Reopens this configuration as a [`FlowBuilder`], for deriving a
+    /// variant from an existing config (e.g. a CLI preset plus `--pre-opt`).
+    pub fn to_builder(self) -> FlowBuilder {
+        FlowBuilder { cfg: self }
+    }
+}
+
+/// Chainable construction of a [`FlowConfig`].
+///
+/// Every method returns `Self`, so flow variants compose in one
+/// expression; [`FlowBuilder::build`] yields the finished configuration.
+/// Presets ([`FlowConfig::single_phase`], [`FlowConfig::multiphase`],
+/// [`FlowConfig::t1`]) remain the spelling for the three paper flows;
+/// the builder is how optional stages attach to them:
+///
+/// ```
+/// use t1map::flow::FlowConfig;
+///
+/// let cfg = FlowConfig::builder(4).t1(true).standard_opt().timing(true).build();
+/// assert!(cfg.use_t1 && cfg.pre_opt.enabled && cfg.timing.enabled);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowBuilder {
+    cfg: FlowConfig,
+}
+
+impl FlowBuilder {
+    /// Enables or disables T1 detection and instantiation.
+    pub fn t1(mut self, enable: bool) -> Self {
+        self.cfg.use_t1 = enable;
         self
     }
 
-    /// This configuration with the slack-aware pre-mapping optimization
-    /// stage (`sfq-opt`'s `rewrite-slack` pipeline).
-    pub fn with_slack_opt(mut self) -> Self {
-        self.pre_opt = OptConfig::slack_aware();
+    /// Selects the phase-assignment engine.
+    pub fn engine(mut self, engine: PhaseEngine) -> Self {
+        self.cfg.engine = engine;
         self
     }
 
-    /// This configuration with the DFF-objective pre-mapping optimization
-    /// stage (`sfq-opt`'s `rewrite-dff` pipeline): rewrite sites are
-    /// priced by their projected per-edge DFF cost under **this flow's**
-    /// phase count, bridging the §II-B `edge_dff_objective` accounting of
-    /// `t1map::timing` into pre-mapping synthesis.
-    pub fn with_dff_opt(mut self) -> Self {
-        self.pre_opt = OptConfig::dff_aware(self.phases.max(1));
+    /// Local-search passes for the heuristic engine.
+    pub fn opt_passes(mut self, passes: usize) -> Self {
+        self.cfg.opt_passes = passes;
         self
     }
 
-    /// This configuration with the timing-analysis stage enabled.
-    pub fn with_timing(mut self) -> Self {
-        self.timing = TimingConfig::standard();
+    /// Replaces the T1 detection parameters.
+    pub fn detect(mut self, detect: DetectConfig) -> Self {
+        self.cfg.detect = detect;
         self
+    }
+
+    /// Replaces the pre-mapping optimization stage wholesale (the escape
+    /// hatch; the named variants below cover the shipped pipelines).
+    pub fn pre_opt(mut self, pre_opt: OptConfig) -> Self {
+        self.cfg.pre_opt = pre_opt;
+        self
+    }
+
+    /// The standard pre-mapping optimization stage (`--pre-opt` on the CLI
+    /// and the bench binaries).
+    pub fn standard_opt(self) -> Self {
+        self.pre_opt(OptConfig::standard())
+    }
+
+    /// The slack-aware pre-mapping optimization stage (`sfq-opt`'s
+    /// `rewrite-slack` pipeline).
+    pub fn slack_opt(self) -> Self {
+        self.pre_opt(OptConfig::slack_aware())
+    }
+
+    /// The DFF-objective pre-mapping optimization stage (`sfq-opt`'s
+    /// `rewrite-dff` pipeline): rewrite sites are priced by their projected
+    /// per-edge DFF cost under **this builder's** phase count, bridging the
+    /// §II-B `edge_dff_objective` accounting of `t1map::timing` into
+    /// pre-mapping synthesis.
+    pub fn dff_opt(self) -> Self {
+        let n = self.cfg.phases.max(1);
+        self.pre_opt(OptConfig::dff_aware(n))
+    }
+
+    /// Enables or disables the post-scheduling timing-analysis stage.
+    pub fn timing(mut self, enable: bool) -> Self {
+        self.cfg.timing = if enable {
+            TimingConfig::standard()
+        } else {
+            TimingConfig::disabled()
+        };
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> FlowConfig {
+        self.cfg
     }
 }
 
@@ -159,7 +237,11 @@ pub struct FlowStats {
 }
 
 /// Everything produced by one flow run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every component (netlist, schedule, plan, stats and
+/// the optional stage reports) — the equality the `sfq-engine` store codec's
+/// round-trip guarantee is stated in.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlowResult {
     /// The mapped netlist.
     pub mapped: MappedCircuit,
@@ -335,7 +417,11 @@ mod tests {
         let lib = CellLibrary::default();
         let aig = adder(8);
         let plain = run_flow(&aig, &lib, &FlowConfig::t1(4));
-        let pre = run_flow(&aig, &lib, &FlowConfig::t1(4).with_pre_opt());
+        let pre = run_flow(
+            &aig,
+            &lib,
+            &FlowConfig::t1(4).to_builder().standard_opt().build(),
+        );
         // The mapped result of the optimized network still computes the
         // subject functions.
         let mut state = 0xA5A5_F00D_1234_5678u64;
@@ -356,9 +442,16 @@ mod tests {
         // real mapping.
         assert!(pre.stats.gates > 0 && plain.stats.gates > 0);
         assert!(
-            sfq_opt::optimize(&aig, &FlowConfig::t1(4).with_pre_opt().pre_opt)
-                .0
-                .and_count()
+            sfq_opt::optimize(
+                &aig,
+                &FlowConfig::t1(4)
+                    .to_builder()
+                    .standard_opt()
+                    .build()
+                    .pre_opt
+            )
+            .0
+            .and_count()
                 <= aig.and_count(),
             "the pre-opt stage itself never grows the AIG"
         );
@@ -370,7 +463,11 @@ mod tests {
         use std::hash::Hasher;
         let lib = CellLibrary::default();
         let aig = adder(8);
-        let res = run_flow(&aig, &lib, &FlowConfig::t1(4).with_dff_opt());
+        let res = run_flow(
+            &aig,
+            &lib,
+            &FlowConfig::t1(4).to_builder().dff_opt().build(),
+        );
         let mut state = 0x0DFF_0DFF_0DFF_0DFFu64 | 1;
         for _ in 0..4 {
             let inputs: Vec<u64> = (0..aig.pi_count())
@@ -391,10 +488,13 @@ mod tests {
             h.finish()
         };
         let plain = FlowConfig::t1(4);
-        assert_ne!(fp(&plain), fp(&plain.clone().with_dff_opt()));
         assert_ne!(
-            fp(&plain.clone().with_slack_opt()),
-            fp(&plain.clone().with_dff_opt())
+            fp(&plain),
+            fp(&plain.clone().to_builder().dff_opt().build())
+        );
+        assert_ne!(
+            fp(&plain.clone().to_builder().slack_opt().build()),
+            fp(&plain.clone().to_builder().dff_opt().build())
         );
         // Same flow phase count, different pricing phase count: only the
         // pre-opt stage encoding separates these two, so this pins the
@@ -412,7 +512,11 @@ mod tests {
         let aig = adder(6);
         let plain = run_flow(&aig, &lib, &FlowConfig::t1(4));
         assert!(plain.timing.is_none(), "disabled stage reports nothing");
-        let timed = run_flow(&aig, &lib, &FlowConfig::t1(4).with_timing());
+        let timed = run_flow(
+            &aig,
+            &lib,
+            &FlowConfig::t1(4).to_builder().timing(true).build(),
+        );
         let summary = timed.timing.expect("enabled stage attaches a summary");
         assert_eq!(summary.horizon, timed.schedule.horizon);
         assert_eq!(summary.chained_dffs, timed.stats.dffs);
@@ -420,6 +524,41 @@ mod tests {
         assert!(summary.zero_slack_cells > 0);
         // The stage is pure analysis: mapping results are untouched.
         assert_eq!(plain.stats, timed.stats);
+    }
+
+    #[test]
+    fn builder_reproduces_preset_fingerprints() {
+        use sfq_netlist::fnv::Fnv1a;
+        use std::hash::Hasher;
+        let fp = |cfg: &FlowConfig| {
+            let mut h = Fnv1a::new();
+            cfg.fingerprint(&mut h);
+            h.finish()
+        };
+        // The builder is a pure re-spelling: it must hit the exact content
+        // addresses the presets produce, or every persisted store entry
+        // written before this API existed would silently invalidate.
+        assert_eq!(
+            fp(&FlowConfig::builder(1).build()),
+            fp(&FlowConfig::single_phase())
+        );
+        assert_eq!(
+            fp(&FlowConfig::builder(4).build()),
+            fp(&FlowConfig::multiphase(4))
+        );
+        assert_eq!(
+            fp(&FlowConfig::builder(4).t1(true).build()),
+            fp(&FlowConfig::t1(4))
+        );
+        // dff_opt prices at the builder's phase count, not a global default.
+        let priced = FlowConfig::builder(6).t1(true).dff_opt().build();
+        assert_eq!(priced.pre_opt, OptConfig::dff_aware(6));
+        // Stages toggle off again, landing back on the preset address.
+        let toggled = FlowConfig::builder(4).timing(true).timing(false).build();
+        assert_eq!(fp(&toggled), fp(&FlowConfig::multiphase(4)));
+        // Exact-engine selection flows through the builder.
+        let exact = FlowConfig::builder(2).engine(PhaseEngine::Exact).build();
+        assert_eq!(exact.engine, PhaseEngine::Exact);
     }
 
     #[test]

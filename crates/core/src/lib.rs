@@ -61,7 +61,7 @@ pub use detect::{detect, select_exact, DetectConfig, DetectionResult};
 pub use dff::{build_chain, insert_dffs, Chain, Consumer, DffPlan, Requirement};
 pub use dot::to_dot;
 pub use energy::{EnergyModel, EnergyReport};
-pub use flow::{run_flow, FlowConfig, FlowResult, FlowStats, PhaseEngine};
+pub use flow::{run_flow, FlowBuilder, FlowConfig, FlowResult, FlowStats, PhaseEngine};
 pub use mapped::{CellId, Edge, MappedCell, MappedCircuit};
 pub use mapper::{map, MapResult, T1Group, T1Member, T1Selection};
 pub use phase::{assign_phases, assign_phases_exact, Schedule};

@@ -89,7 +89,7 @@ pub enum MappedCell {
 }
 
 /// A technology-mapped netlist.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MappedCircuit {
     cells: Vec<MappedCell>,
     pos: Vec<Edge>,

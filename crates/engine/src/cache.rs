@@ -1,26 +1,96 @@
-//! Content-addressed in-memory result cache with in-flight deduplication.
+//! Content-addressed in-memory result cache with in-flight deduplication,
+//! optionally layered over a persistent backing store.
 
 use crate::job::CacheKey;
+use crate::store::{ResultStore, StoreStats};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use t1map::flow::FlowResult;
 
-/// Snapshot of the cache counters.
+/// Where a served result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HitSource {
+    /// The in-memory tier, including requests that waited for another
+    /// worker's in-flight computation of the same key.
+    Memory,
+    /// The backing store (decoded from disk and promoted into memory).
+    Disk,
+    /// Nowhere — the flow ran.
+    Computed,
+}
+
+impl HitSource {
+    /// `true` unless the flow had to run.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, HitSource::Computed)
+    }
+
+    /// Short label used by progress lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            HitSource::Memory => "cached",
+            HitSource::Disk => "disk",
+            HitSource::Computed => "mapped",
+        }
+    }
+
+    /// Label used by `serve` response lines.
+    pub fn serve_label(self) -> &'static str {
+        match self {
+            HitSource::Memory => "memory",
+            HitSource::Disk => "disk",
+            HitSource::Computed => "computed",
+        }
+    }
+}
+
+/// Snapshot of the cache counters, broken down per backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Requests served without running the flow (including requests that
+    /// Requests served from the in-memory tier (including requests that
     /// waited for another worker's in-flight computation of the same key).
-    pub hits: u64,
+    pub memory_hits: u64,
+    /// Requests served from the backing store.
+    pub disk_hits: u64,
     /// Requests that ran the flow.
     pub misses: u64,
+    /// In-memory entries removed by [`ResultStore::gc`].
+    pub evicted: u64,
+    /// Counters of the backing store, if one is attached.
+    pub disk: StoreStats,
+}
+
+impl CacheStats {
+    /// Requests served without running the flow, from either tier.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.hits() + self.misses
+    }
+
+    /// Counter increments since `earlier` (a snapshot of the same cache);
+    /// gauges keep their current value.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.saturating_sub(earlier.memory_hits),
+            disk_hits: self.disk_hits.saturating_sub(earlier.disk_hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evicted: self.evicted.saturating_sub(earlier.evicted),
+            disk: self.disk.delta_since(&earlier.disk),
+        }
+    }
 }
 
 enum Slot {
     /// A worker is computing this key; waiters block on the condvar.
     InFlight,
-    /// Finished result, shared by reference count.
-    Ready(Arc<FlowResult>),
+    /// Finished result plus its insertion sequence number (the eviction
+    /// order used by [`ResultStore::gc`]).
+    Ready(Arc<FlowResult>, u64),
 }
 
 /// A content-addressed store of flow results.
@@ -31,12 +101,35 @@ enum Slot {
 /// same key sleep on a condvar and wake to share the finished `Arc`. If the
 /// computing closure panics, the claim is released and a waiter takes over,
 /// so one poisoned job cannot deadlock the pool.
+///
+/// With a backing [`ResultStore`] attached
+/// ([`with_backing`](ResultCache::with_backing)), the cache becomes the
+/// layered view of the result layer: lookups fall through to the backing
+/// store (one probe per claimed key, so concurrent requests for one key
+/// still trigger a single disk read), computed results are written through,
+/// and disk hits are promoted into memory.
 #[derive(Default)]
 pub struct ResultCache {
+    // NB: `Debug` is implemented by hand — `dyn ResultStore` has no `Debug`
+    // bound, so the derive cannot apply.
     slots: Mutex<HashMap<CacheKey, Slot>>,
     ready: Condvar,
-    hits: AtomicU64,
+    backing: Option<Arc<dyn ResultStore>>,
+    seq: AtomicU64,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("entries", &self.len())
+            .field("backed", &self.backing.is_some())
+            .field("stats", &self.stats())
+            .finish()
+    }
 }
 
 /// Releases an in-flight claim if the computing closure unwinds.
@@ -57,15 +150,37 @@ impl Drop for ClaimGuard<'_> {
 }
 
 impl ResultCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with no backing store.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns the result for `key`, running `compute` only if no other
-    /// request has produced (or is producing) it. The flag is `true` when
-    /// the result came from the cache.
-    pub fn get_or_compute<F>(&self, key: CacheKey, compute: F) -> (Arc<FlowResult>, bool)
+    /// Creates an empty cache layered over `backing`: lookups missing in
+    /// memory probe `backing`, computed results are written through to it.
+    pub fn with_backing(backing: Arc<dyn ResultStore>) -> Self {
+        ResultCache {
+            backing: Some(backing),
+            ..Self::default()
+        }
+    }
+
+    /// The backing store, if one is attached.
+    pub fn backing(&self) -> Option<&Arc<dyn ResultStore>> {
+        self.backing.as_ref()
+    }
+
+    /// Inserts `result` as a finished entry, waking any waiters.
+    fn insert_ready(&self, key: CacheKey, result: Arc<FlowResult>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.lock().unwrap();
+        slots.insert(key, Slot::Ready(result, seq));
+        self.ready.notify_all();
+    }
+
+    /// Returns the result for `key`, running `compute` only if neither tier
+    /// has (or is producing) it. The [`HitSource`] says which tier served
+    /// the request.
+    pub fn get_or_compute<F>(&self, key: CacheKey, compute: F) -> (Arc<FlowResult>, HitSource)
     where
         F: FnOnce() -> FlowResult,
     {
@@ -73,9 +188,9 @@ impl ResultCache {
             let mut slots = self.slots.lock().unwrap();
             loop {
                 match slots.get(&key) {
-                    Some(Slot::Ready(result)) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return (result.clone(), true);
+                    Some(Slot::Ready(result, _)) => {
+                        self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                        return (result.clone(), HitSource::Memory);
                     }
                     Some(Slot::InFlight) => {
                         slots = self.ready.wait(slots).unwrap();
@@ -92,45 +207,128 @@ impl ResultCache {
             key,
             armed: true,
         };
+        // Probe the backing store under the claim, so concurrent requests
+        // for the same key cost one disk read, not one each.
+        if let Some(found) = self.backing.as_ref().and_then(|b| b.get(key)) {
+            guard.armed = false;
+            self.insert_ready(key, found.clone());
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return (found, HitSource::Disk);
+        }
         let result = Arc::new(compute());
         guard.armed = false;
-        let mut slots = self.slots.lock().unwrap();
-        slots.insert(key, Slot::Ready(result.clone()));
-        self.ready.notify_all();
-        drop(slots);
+        self.insert_ready(key, result.clone());
         self.misses.fetch_add(1, Ordering::Relaxed);
-        (result, false)
-    }
-
-    /// Returns the cached result for `key`, if present and finished.
-    pub fn get(&self, key: CacheKey) -> Option<Arc<FlowResult>> {
-        match self.slots.lock().unwrap().get(&key) {
-            Some(Slot::Ready(result)) => Some(result.clone()),
-            _ => None,
+        if let Some(backing) = &self.backing {
+            backing.put(key, &result);
         }
+        (result, HitSource::Computed)
     }
 
-    /// Number of finished entries.
+    /// Number of finished in-memory entries.
     pub fn len(&self) -> usize {
         self.slots
             .lock()
             .unwrap()
             .values()
-            .filter(|s| matches!(s, Slot::Ready(_)))
+            .filter(|s| matches!(s, Slot::Ready(..)))
             .count()
     }
 
-    /// Returns `true` if no finished entry is stored.
+    /// Returns `true` if no finished entry is stored in memory.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the per-backend counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            disk: self.backing.as_ref().map(|b| b.stats()).unwrap_or_default(),
         }
+    }
+}
+
+/// The layered view of the cache: memory in front, the backing store (if
+/// any) behind, with promotion on disk hits and write-through on puts.
+impl ResultStore for ResultCache {
+    fn get(&self, key: CacheKey) -> Option<Arc<FlowResult>> {
+        if let Some(Slot::Ready(result, _)) = self.slots.lock().unwrap().get(&key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(result.clone());
+        }
+        match self.backing.as_ref().and_then(|b| b.get(key)) {
+            Some(found) => {
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                // Promote, but never displace an in-flight claim.
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                let mut slots = self.slots.lock().unwrap();
+                slots
+                    .entry(key)
+                    .or_insert_with(|| Slot::Ready(found.clone(), seq));
+                Some(found)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: CacheKey, result: &Arc<FlowResult>) {
+        self.insert_ready(key, result.clone());
+        if let Some(backing) = &self.backing {
+            backing.put(key, result);
+        }
+    }
+
+    fn contains(&self, key: CacheKey) -> bool {
+        if matches!(self.slots.lock().unwrap().get(&key), Some(Slot::Ready(..))) {
+            return true;
+        }
+        self.backing.as_ref().is_some_and(|b| b.contains(key))
+    }
+
+    fn stats(&self) -> StoreStats {
+        let s = self.stats();
+        StoreStats {
+            entries: self.len(),
+            hits: s.hits(),
+            misses: s.misses,
+            puts: s.disk.puts,
+            errors: s.disk.errors,
+            evicted: s.evicted + s.disk.evicted,
+        }
+    }
+
+    fn gc(&self, keep_newest: usize) -> usize {
+        let mut removed = 0usize;
+        {
+            let mut slots = self.slots.lock().unwrap();
+            let mut ready: Vec<(u64, CacheKey)> = slots
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Slot::Ready(_, seq) => Some((*seq, *k)),
+                    Slot::InFlight => None,
+                })
+                .collect();
+            if ready.len() > keep_newest {
+                ready.sort_unstable_by_key(|(seq, _)| *seq);
+                let excess = ready.len() - keep_newest;
+                for (_, key) in ready.into_iter().take(excess) {
+                    slots.remove(&key);
+                    removed += 1;
+                }
+            }
+        }
+        self.evicted.fetch_add(removed as u64, Ordering::Relaxed);
+        if let Some(backing) = &self.backing {
+            removed += backing.gc(keep_newest);
+        }
+        removed
     }
 }
 
@@ -154,21 +352,29 @@ mod tests {
         let cache = ResultCache::new();
         let key = CacheKey { aig: 1, setup: 2 };
         let mut runs = 0;
-        let (_, hit) = cache.get_or_compute(key, || {
+        let (_, source) = cache.get_or_compute(key, || {
             runs += 1;
             small_result()
         });
-        assert!(!hit);
-        let (_, hit) = cache.get_or_compute(key, || {
+        assert_eq!(source, HitSource::Computed);
+        assert!(!source.is_hit());
+        let (_, source) = cache.get_or_compute(key, || {
             runs += 1;
             small_result()
         });
-        assert!(hit);
+        assert_eq!(source, HitSource::Memory);
+        assert!(source.is_hit());
         assert_eq!(runs, 1);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.memory_hits, stats.disk_hits, stats.misses),
+            (1, 0, 1)
+        );
+        assert_eq!(stats.hits(), 1);
+        assert_eq!(stats.requests(), 2);
         assert_eq!(cache.len(), 1);
-        assert!(cache.get(key).is_some());
-        assert!(cache.get(CacheKey { aig: 9, setup: 9 }).is_none());
+        assert!(ResultStore::get(&cache, key).is_some());
+        assert!(ResultStore::get(&cache, CacheKey { aig: 9, setup: 9 }).is_none());
     }
 
     #[test]
@@ -180,8 +386,8 @@ mod tests {
         }));
         assert!(panic.is_err());
         // The claim is gone: a retry computes instead of deadlocking.
-        let (_, hit) = cache.get_or_compute(key, small_result);
-        assert!(!hit);
+        let (_, source) = cache.get_or_compute(key, small_result);
+        assert_eq!(source, HitSource::Computed);
         assert_eq!(cache.len(), 1);
     }
 
@@ -205,7 +411,24 @@ mod tests {
         });
         assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one computation");
         let stats = cache.stats();
-        assert_eq!(stats.hits + stats.misses, 4);
+        assert_eq!(stats.hits() + stats.misses, 4);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn gc_evicts_oldest_entries_first() {
+        let cache = ResultCache::new();
+        let result = Arc::new(small_result());
+        for aig in 0..5u64 {
+            ResultStore::put(&cache, CacheKey { aig, setup: 0 }, &result);
+        }
+        let removed = cache.gc(2);
+        assert_eq!(removed, 3);
+        assert_eq!(cache.len(), 2);
+        // The newest two survive.
+        assert!(ResultStore::get(&cache, CacheKey { aig: 3, setup: 0 }).is_some());
+        assert!(ResultStore::get(&cache, CacheKey { aig: 4, setup: 0 }).is_some());
+        assert!(ResultStore::get(&cache, CacheKey { aig: 0, setup: 0 }).is_none());
+        assert_eq!(cache.stats().evicted, 3);
     }
 }

@@ -1,13 +1,14 @@
 //! # sfq-engine
 //!
 //! Batch execution of mapping flows: one shared engine behind the Table-I
-//! binaries, the ablation sweeps and the CLI `suite` subcommand, so every
-//! consumer gets parallelism and result reuse instead of re-running
-//! [`run_flow`](t1map::flow::run_flow) serially and from scratch.
+//! binaries, the ablation sweeps and the CLI `suite`/`serve` subcommands,
+//! so every consumer gets parallelism and result reuse instead of
+//! re-running [`run_flow`](t1map::flow::run_flow) serially and from
+//! scratch.
 //!
 //! ## Architecture
 //!
-//! The engine is three small layers:
+//! The engine is four small layers:
 //!
 //! - **[`Job`]** ([`job`]) — the unit of work: a named AIG × a
 //!   [`CellLibrary`](t1map::cells::CellLibrary) × a
@@ -17,13 +18,23 @@
 //!   canonical fingerprints of the library and configuration — equal inputs
 //!   produce equal keys across threads, runs and platforms.
 //!
-//! - **[`ResultCache`]** ([`cache`]) — a content-addressed in-memory store
-//!   of `Arc<FlowResult>`. [`ResultCache::get_or_compute`] deduplicates
-//!   *concurrent* requests too: the first worker to claim a key computes it
-//!   while later workers block on a condvar and share the finished `Arc`,
-//!   so a suite that submits the same (AIG, library, config) several times
-//!   — e.g. the shared 1φ baseline of an ablation phase sweep — computes it
-//!   exactly once regardless of worker count.
+//! - **[`ResultStore`]** ([`store`]) — the storage abstraction: a
+//!   content-addressed map from [`CacheKey`] to shared results with uniform
+//!   counters and a gc hook. [`DiskStore`] implements it on disk (one
+//!   atomically written file per key under a format-versioned directory,
+//!   encoded by the [`store::codec`] text codec), so results persist across
+//!   processes.
+//!
+//! - **[`ResultCache`]** ([`cache`]) — the in-memory tier.
+//!   [`ResultCache::get_or_compute`] deduplicates *concurrent* requests
+//!   too: the first worker to claim a key computes it while later workers
+//!   block on a condvar and share the finished `Arc`, so a suite that
+//!   submits the same (AIG, library, config) several times — e.g. the
+//!   shared 1φ baseline of an ablation phase sweep — computes it exactly
+//!   once regardless of worker count. Layered over a backing
+//!   [`ResultStore`] ([`ResultCache::with_backing`]) it probes disk on
+//!   memory misses and writes computed results through, making a second run
+//!   over a populated store compute nothing.
 //!
 //! - **[`SuiteRunner`]** ([`pool`]) — a fixed-size worker pool built on
 //!   `std::thread::scope` and channels. Workers claim jobs from a shared
@@ -32,7 +43,8 @@
 //!   progress callbacks need no synchronisation), and the final
 //!   [`SuiteReport`] lists results in deterministic input order regardless
 //!   of completion order — `--jobs 1` and `--jobs 8` render byte-identical
-//!   tables.
+//!   tables. [`SuiteRunner::with_store`] swaps the per-run cache for a
+//!   shared, long-lived (and optionally disk-backed) store.
 //!
 //! ## Example
 //!
@@ -52,14 +64,16 @@
 //! ];
 //! let report = SuiteRunner::new(2).run(&jobs);
 //! assert_eq!(report.results.len(), 3);
-//! assert_eq!(report.cache.hits, 1);
+//! assert_eq!(report.cache.hits(), 1);
 //! assert_eq!(report.results[0].stats, report.results[2].stats);
 //! ```
 
 pub mod cache;
 pub mod job;
 pub mod pool;
+pub mod store;
 
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{CacheStats, HitSource, ResultCache};
 pub use job::{CacheKey, Job};
 pub use pool::{default_workers, JobOutcome, SuiteReport, SuiteRunner};
+pub use store::{DiskStore, ResultStore, StoreStats};

@@ -1,6 +1,6 @@
 //! Fixed-size worker pool and suite orchestration.
 
-use crate::cache::{CacheStats, ResultCache};
+use crate::cache::{CacheStats, HitSource, ResultCache};
 use crate::job::Job;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -30,8 +30,9 @@ pub struct JobOutcome<'a> {
     pub completed: usize,
     /// Total number of submitted jobs.
     pub total: usize,
-    /// Whether the result came from the cache instead of a flow run.
-    pub cache_hit: bool,
+    /// Which tier served the result (or [`HitSource::Computed`] if the
+    /// flow ran).
+    pub source: HitSource,
     /// Wall-clock time this job occupied a worker. Near zero for hits on an
     /// already-finished entry; a hit that piggybacked on another worker's
     /// in-flight computation of the same key reports the time spent waiting
@@ -48,7 +49,8 @@ pub struct SuiteReport {
     /// completion order, so serial and parallel runs render identically.
     /// Jobs that shared a cache entry share the same `Arc`.
     pub results: Vec<Arc<FlowResult>>,
-    /// Cache counters for the run.
+    /// Cache counter increments attributable to *this* run (a delta of two
+    /// snapshots, so a shared long-lived store reports per-run figures).
     pub cache: CacheStats,
     /// Wall-clock time of the whole suite.
     pub elapsed: Duration,
@@ -62,15 +64,22 @@ pub struct SuiteReport {
 /// results flow back over an `mpsc` channel to the calling thread, which
 /// invokes the progress callback (no `Send`/`Sync` bound on the callback)
 /// and slots each result into its submission-order position.
-#[derive(Debug, Clone, Copy)]
+///
+/// By default each run uses a private in-memory [`ResultCache`] that dies
+/// with the run. [`with_store`](SuiteRunner::with_store) attaches a shared,
+/// long-lived store instead — typically a [`ResultCache`] layered over a
+/// [`DiskStore`](crate::store::DiskStore) — so results persist across runs
+/// (and, through the disk tier, across processes).
+#[derive(Debug, Clone)]
 pub struct SuiteRunner {
     workers: usize,
+    store: Option<Arc<ResultCache>>,
 }
 
 struct WorkerEvent {
     index: usize,
     result: Arc<FlowResult>,
-    cache_hit: bool,
+    source: HitSource,
     duration: Duration,
 }
 
@@ -79,6 +88,7 @@ impl SuiteRunner {
     pub fn new(workers: usize) -> Self {
         SuiteRunner {
             workers: workers.max(1),
+            store: None,
         }
     }
 
@@ -87,9 +97,22 @@ impl SuiteRunner {
         Self::new(default_workers())
     }
 
+    /// Uses `store` for every run instead of a fresh per-run cache, so
+    /// results are shared across runs (and across runners holding clones of
+    /// the same `Arc`).
+    pub fn with_store(mut self, store: Arc<ResultCache>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The shared store, if one is attached.
+    pub fn store(&self) -> Option<&Arc<ResultCache>> {
+        self.store.as_ref()
     }
 
     /// Executes `jobs` and collects the report, without progress reporting.
@@ -106,7 +129,15 @@ impl SuiteRunner {
         let start = Instant::now();
         let total = jobs.len();
         let workers = self.workers.min(total.max(1));
-        let cache = ResultCache::new();
+        let local;
+        let cache: &ResultCache = match &self.store {
+            Some(shared) => shared.as_ref(),
+            None => {
+                local = ResultCache::new();
+                &local
+            }
+        };
+        let before = cache.stats();
         let cursor = AtomicUsize::new(0);
         let mut results: Vec<Option<Arc<FlowResult>>> = vec![None; total];
 
@@ -114,7 +145,6 @@ impl SuiteRunner {
             let (tx, rx) = mpsc::channel::<WorkerEvent>();
             for _ in 0..workers {
                 let tx = tx.clone();
-                let cache = &cache;
                 let cursor = &cursor;
                 scope.spawn(move || loop {
                     let index = cursor.fetch_add(1, Ordering::Relaxed);
@@ -123,14 +153,14 @@ impl SuiteRunner {
                     }
                     let job = &jobs[index];
                     let t0 = Instant::now();
-                    let (result, cache_hit) = cache
+                    let (result, source) = cache
                         .get_or_compute(job.key(), || run_flow(&job.aig, &job.lib, &job.config));
                     // The receiver only disappears if the collector loop
                     // ended early (callback panic); nothing left to report.
                     let _ = tx.send(WorkerEvent {
                         index,
                         result,
-                        cache_hit,
+                        source,
                         duration: t0.elapsed(),
                     });
                 });
@@ -143,7 +173,7 @@ impl SuiteRunner {
                     index: event.index,
                     completed: done + 1,
                     total,
-                    cache_hit: event.cache_hit,
+                    source: event.source,
                     duration: event.duration,
                     stats: event.result.stats,
                 });
@@ -156,7 +186,7 @@ impl SuiteRunner {
                 .into_iter()
                 .map(|r| r.expect("every submitted job reports a result"))
                 .collect(),
-            cache: cache.stats(),
+            cache: cache.stats().delta_since(&before),
             elapsed: start.elapsed(),
             workers,
         }
@@ -166,6 +196,7 @@ impl SuiteRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::HitSource;
     use sfq_circuits::epfl::adder;
     use t1map::cells::CellLibrary;
     use t1map::flow::FlowConfig;
@@ -209,5 +240,25 @@ mod tests {
         // More workers than jobs: the pool shrinks to the job count.
         let report = SuiteRunner::new(64).run(&jobs);
         assert_eq!(report.workers, 3);
+    }
+
+    #[test]
+    fn shared_store_carries_results_across_runs() {
+        let store = Arc::new(ResultCache::new());
+        let runner = SuiteRunner::new(2).with_store(store.clone());
+        let jobs = three_flow_jobs();
+
+        let cold = runner.run(&jobs);
+        assert_eq!(cold.cache.misses, 3);
+        assert_eq!(cold.cache.hits(), 0);
+
+        // Second run over the same store: everything is a memory hit, and
+        // the per-run delta does not double-count the first run.
+        let mut sources = Vec::new();
+        let warm = runner.run_with_progress(&jobs, |o| sources.push(o.source));
+        assert_eq!(warm.cache.misses, 0);
+        assert_eq!(warm.cache.memory_hits, 3);
+        assert!(sources.iter().all(|s| *s == HitSource::Memory));
+        assert_eq!(store.stats().misses, 3, "lifetime counters accumulate");
     }
 }

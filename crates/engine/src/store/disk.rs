@@ -1,0 +1,211 @@
+//! On-disk [`ResultStore`] backend: one file per key, atomic writes.
+//!
+//! Layout: `<dir>/v<FORMAT_VERSION>/<aig>-<setup>.sfqr`, where the two key
+//! halves are zero-padded hex. The version directory ties entries to the
+//! codec that wrote them — after a format bump, old entries sit in a stale
+//! `v<k>` directory that never matches lookups and is swept by
+//! [`ResultStore::gc`].
+//!
+//! Writes go through a uniquely named temp file in the same directory
+//! followed by a rename, so readers (including concurrent processes
+//! sharing the directory) only ever observe absent or complete files.
+//! Failures of any kind — I/O errors, decode errors, rename races — are
+//! counted in [`StoreStats::errors`] and surface as misses or dropped
+//! puts, never as panics or propagated errors.
+
+use super::codec::{self, FORMAT_VERSION};
+use super::{ResultStore, StoreStats};
+use crate::job::CacheKey;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use t1map::flow::FlowResult;
+
+/// Extension of entry files inside the version directory.
+const ENTRY_EXT: &str = "sfqr";
+
+/// Persistent result store rooted at a user-supplied cache directory.
+#[derive(Debug)]
+pub struct DiskStore {
+    /// `<dir>/v<FORMAT_VERSION>` — entries of the current format only.
+    root: PathBuf,
+    /// Parent cache directory (holds stale version dirs for gc to sweep).
+    dir: PathBuf,
+    /// Distinguishes concurrent temp files from one process.
+    tmp_seq: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    errors: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl DiskStore {
+    /// Opens (creating if necessary) a store under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the version directory cannot be created — entries
+    /// themselves are handled best-effort afterwards.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        let root = dir.join(format!("v{FORMAT_VERSION}"));
+        fs::create_dir_all(&root)?;
+        Ok(DiskStore {
+            root,
+            dir,
+            tmp_seq: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        })
+    }
+
+    /// Directory holding current-format entries.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, key: CacheKey) -> PathBuf {
+        self.root
+            .join(format!("{:016x}-{:016x}.{ENTRY_EXT}", key.aig, key.setup))
+    }
+
+    /// Current-format entry files, ignoring temp files and debris.
+    fn entries(&self) -> Vec<PathBuf> {
+        let mut out = Vec::new();
+        let Ok(rd) = fs::read_dir(&self.root) else {
+            return out;
+        };
+        for entry in rd.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(ENTRY_EXT) {
+                out.push(path);
+            }
+        }
+        out
+    }
+}
+
+impl ResultStore for DiskStore {
+    fn get(&self, key: CacheKey) -> Option<Arc<FlowResult>> {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                if e.kind() != io::ErrorKind::NotFound {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match codec::decode(&text) {
+            Ok(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::new(result))
+            }
+            Err(_) => {
+                // Corrupt or stale entry: count it, drop it, report a miss.
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: CacheKey, result: &Arc<FlowResult>) {
+        let text = codec::encode(result);
+        let tmp = self.root.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = fs::write(&tmp, &text).and_then(|()| fs::rename(&tmp, self.entry_path(key)));
+        match written {
+            Ok(()) => {
+                self.puts.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                let _ = fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    fn contains(&self, key: CacheKey) -> bool {
+        self.entry_path(key).is_file()
+    }
+
+    fn stats(&self) -> StoreStats {
+        StoreStats {
+            entries: self.entries().len(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    fn gc(&self, keep_newest: usize) -> usize {
+        let mut removed = 0usize;
+
+        // Sweep stale-format version directories wholesale.
+        if let Ok(rd) = fs::read_dir(&self.dir) {
+            for entry in rd.flatten() {
+                let path = entry.path();
+                if !path.is_dir() || path == self.root {
+                    continue;
+                }
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                let Some(version) = name.strip_prefix('v') else {
+                    continue;
+                };
+                if version.parse::<u32>().is_err() {
+                    continue;
+                }
+                if let Ok(stale) = fs::read_dir(&path) {
+                    removed += stale
+                        .flatten()
+                        .filter(|e| {
+                            e.path().extension().and_then(|x| x.to_str()) == Some(ENTRY_EXT)
+                        })
+                        .count();
+                }
+                let _ = fs::remove_dir_all(&path);
+            }
+        }
+
+        // Evict oldest current-format entries beyond the cap.
+        let mut entries: Vec<(std::time::SystemTime, PathBuf)> = self
+            .entries()
+            .into_iter()
+            .map(|p| {
+                let mtime = fs::metadata(&p)
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                (mtime, p)
+            })
+            .collect();
+        if entries.len() > keep_newest {
+            entries.sort_by_key(|(mtime, _)| *mtime);
+            let excess = entries.len() - keep_newest;
+            for (_, path) in entries.into_iter().take(excess) {
+                if fs::remove_file(&path).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
+
+        self.evicted.fetch_add(removed as u64, Ordering::Relaxed);
+        removed
+    }
+}

@@ -107,7 +107,11 @@ fn duplicate_jobs_share_one_computation() {
         .collect();
     let report = SuiteRunner::new(3).run(&jobs);
     assert_eq!(report.cache.misses, 1, "computed exactly once");
-    assert_eq!(report.cache.hits, 4, "four requests served from cache");
+    assert_eq!(report.cache.hits(), 4, "four requests served from cache");
+    assert_eq!(
+        report.cache.memory_hits, 4,
+        "all hits from the in-memory tier"
+    );
     let first = &report.results[0];
     for r in &report.results[1..] {
         assert!(Arc::ptr_eq(first, r), "results share one allocation");
@@ -127,7 +131,7 @@ fn pre_opt_jobs_get_distinct_cache_keys() {
         "T1+opt",
         aig.clone(),
         lib,
-        FlowConfig::t1(4).with_pre_opt(),
+        FlowConfig::t1(4).to_builder().standard_opt().build(),
     );
     assert_ne!(
         plain.key(),
@@ -136,13 +140,17 @@ fn pre_opt_jobs_get_distinct_cache_keys() {
     );
     assert_eq!(
         opted.key(),
-        CacheKey::compute(&aig, &lib, &FlowConfig::t1(4).with_pre_opt()),
+        CacheKey::compute(
+            &aig,
+            &lib,
+            &FlowConfig::t1(4).to_builder().standard_opt().build()
+        ),
         "equal configurations agree on the key"
     );
     // Both flavors run side by side without sharing results.
     let report = SuiteRunner::new(2).run(&[plain, opted]);
     assert_eq!(report.cache.misses, 2);
-    assert_eq!(report.cache.hits, 0);
+    assert_eq!(report.cache.hits(), 0);
     assert!(report.results.iter().all(|r| r.stats.gates > 0));
 }
 
@@ -159,7 +167,7 @@ fn timing_configs_get_distinct_cache_keys() {
         "T1+sta",
         aig.clone(),
         lib,
-        FlowConfig::t1(4).with_timing(),
+        FlowConfig::t1(4).to_builder().timing(true).build(),
     );
     assert_ne!(
         plain.key(),
@@ -168,20 +176,28 @@ fn timing_configs_get_distinct_cache_keys() {
     );
     // top_paths is a rendering knob, not a computation input: two timing
     // configs differing only there must SHARE a cache entry.
-    let mut deep = FlowConfig::t1(4).with_timing();
+    let mut deep = FlowConfig::t1(4).to_builder().timing(true).build();
     deep.timing.top_paths = 10;
     assert_eq!(timed.key(), CacheKey::compute(&aig, &lib, &deep));
     // The slack-aware pre-opt stage keys differently from the standard one.
     assert_ne!(
-        CacheKey::compute(&aig, &lib, &FlowConfig::t1(4).with_pre_opt()),
-        CacheKey::compute(&aig, &lib, &FlowConfig::t1(4).with_slack_opt()),
+        CacheKey::compute(
+            &aig,
+            &lib,
+            &FlowConfig::t1(4).to_builder().standard_opt().build()
+        ),
+        CacheKey::compute(
+            &aig,
+            &lib,
+            &FlowConfig::t1(4).to_builder().slack_opt().build()
+        ),
         "conservative and slack-aware pre-opt must not share results"
     );
     // End to end: the timed job's result carries the summary, the plain
     // one's does not, and no cache sharing happens.
     let report = SuiteRunner::new(2).run(&[plain, timed]);
     assert_eq!(report.cache.misses, 2);
-    assert_eq!(report.cache.hits, 0);
+    assert_eq!(report.cache.hits(), 0);
     assert!(report.results[0].timing.is_none());
     let summary = report.results[1].timing.expect("timing summary attached");
     assert_eq!(summary.worst_slack, 0);

@@ -461,7 +461,7 @@ impl Default for OptConfig {
 
 /// Outcome of a pipeline run: per-round, per-pass statistics plus the
 /// end-to-end deltas and the analysis-cache accounting.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OptReport {
     /// Statistics of every executed pass, grouped by round.
     pub rounds: Vec<Vec<PassStats>>,

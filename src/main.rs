@@ -7,6 +7,7 @@
 //! sfq-t1 opt <benchmark|in.aag> [width] [opts]   pre-mapping AIG optimization (sfq-opt)
 //! sfq-t1 sta <benchmark|in.aag> [width] [opts]   static timing & slack analysis (sfq-sta)
 //! sfq-t1 suite [options]                         Table-I suite through sfq-engine
+//! sfq-t1 serve [options]                         batch flow service on stdin/stdout
 //!
 //! options:
 //!   --phases N       number of clock phases (default 4)
@@ -17,8 +18,15 @@
 //!   --dot FILE       write a Graphviz visualization of the scheduled netlist
 //!   --waves K        number of verification waves (verify; default 8)
 //!   --small          suite: CI-scale benchmark widths
-//!   --jobs N         suite: engine worker threads (default: available parallelism)
+//!   --jobs N         suite/serve: engine worker threads (default: available parallelism)
 //!   --csv FILE       suite: write the table as CSV
+//!   --cache-dir DIR  suite/serve: persistent result store (second runs hit it)
+//!   --stats          suite: per-backend store breakdown after the table
+//!
+//! serve reads one job request per stdin line
+//! (`<benchmark>[:width] <1phi|nphi|t1> [phases] [pre-opt|slack-opt|dff-opt] [timing]`,
+//! `#` comments, `---` flushes the batch early) and streams one
+//! `done <idx> ...` or `err <idx> ...` line per request to stdout.
 //!
 //! opt options:
 //!   --passes LIST    comma-separated pass sequence (default strash,sweep,rewrite,balance)
@@ -46,10 +54,11 @@
 use std::process::ExitCode;
 
 use sfq_t1::bench::{
-    csv_flag, jobs_flag, pre_opt_flag, progress_line, table1_jobs_with, BenchmarkScale,
+    csv_flag, jobs_flag, pre_opt_flag, progress_event, progress_line, store_flag, store_summary,
+    suite_summary, table1_jobs_with, table_one, BenchmarkScale,
 };
 use sfq_t1::circuits::{epfl, iscas};
-use sfq_t1::engine::SuiteRunner;
+use sfq_t1::engine::{Job, SuiteRunner};
 use sfq_t1::netlist::aiger;
 use sfq_t1::netlist::Aig;
 use sfq_t1::opt::{
@@ -57,7 +66,6 @@ use sfq_t1::opt::{
 };
 use sfq_t1::t1map::cells::CellLibrary;
 use sfq_t1::t1map::flow::{run_flow, FlowConfig, PhaseEngine};
-use sfq_t1::t1map::report::{TableOne, TableRow};
 use sfq_t1::t1map::to_pulse_circuit;
 use sfq_t1::t1map::verilog::{cell_models, export, ExportOptions};
 
@@ -73,7 +81,7 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: sfq-t1 <gen|map|verify|opt|sta|suite> ... (see --help in README)".to_string()
+    "usage: sfq-t1 <gen|map|verify|opt|sta|suite|serve> ... (see --help in README)".to_string()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -84,6 +92,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("opt") => cmd_opt(&args[1..]),
         Some("sta") => cmd_sta(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{}", usage());
             Ok(())
@@ -560,40 +569,183 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         if pre_opt { ", pre-opt" } else { "" }
     );
     let jobs = table1_jobs_with(&scale, phases, &lib, pre_opt);
-    let report = SuiteRunner::new(workers).run_with_progress(&jobs, |o| {
-        progress_line(format_args!(
-            "  [{:>2}/{}] {:<14} {:>6} ANDs  {} in {:>7.1?}",
-            o.completed,
-            o.total,
-            o.job.label(),
-            o.job.aig.and_count(),
-            if o.cache_hit { "cached" } else { "mapped" },
-            o.duration
-        ));
-    });
-    let mut table = TableOne::new();
-    for (triple, job) in report.results.chunks(3).zip(jobs.iter().step_by(3)) {
-        table.push(TableRow::from_stats(
-            &job.name,
-            triple[0].stats,
-            triple[1].stats,
-            triple[2].stats,
-        ));
+    let store = store_flag(args)?;
+    let mut runner = SuiteRunner::new(workers);
+    if let Some(store) = &store {
+        runner = runner.with_store(store.clone());
     }
+    let report = runner.run_with_progress(&jobs, |o| progress_event(&o));
+    let table = table_one(&jobs, &report);
     println!("\n{table}");
-    progress_line(format_args!(
-        "suite: {} jobs on {} workers in {:.1?} ({} cache hits, {} flow runs)",
-        jobs.len(),
-        report.workers,
-        report.elapsed,
-        report.cache.hits,
-        report.cache.misses
-    ));
+    if store.is_some() || has_flag(args, "--stats") {
+        println!("{}", store_summary(&report));
+    }
+    if has_flag(args, "--stats") {
+        let c = &report.cache;
+        println!(
+            "  memory backend: {} hits, {} misses, {} evicted",
+            c.memory_hits, c.misses, c.evicted
+        );
+        println!(
+            "  disk backend:   {} hits, {} misses, {} puts, {} errors, {} evicted, {} entries",
+            c.disk.hits, c.disk.misses, c.disk.puts, c.disk.errors, c.disk.evicted, c.disk.entries
+        );
+    }
+    progress_line(suite_summary(jobs.len(), &report));
     if let Some(path) = csv_path {
         std::fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("CSV written to {path}");
     }
     Ok(())
+}
+
+/// Long-running batch service: one job request per stdin line, one
+/// `done`/`err` response line per request on stdout.
+///
+/// Request lines: `<benchmark>[:width] <1phi|nphi|t1> [phases]
+/// [pre-opt|slack-opt|dff-opt] [timing]`. Blank lines and `#` comments are
+/// ignored; `---` flushes the accumulated batch through the engine early
+/// (responses stream back in completion order); EOF flushes and exits. All
+/// requests share one result store for the whole session — with
+/// `--cache-dir`, the persistent one.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+
+    let workers = jobs_flag(args)?;
+    let store = store_flag(args)?
+        .unwrap_or_else(|| std::sync::Arc::new(sfq_t1::engine::ResultCache::new()));
+    let runner = SuiteRunner::new(workers).with_store(store);
+    let lib = CellLibrary::default();
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    // Responses must reach a piped consumer promptly, so every response
+    // line is flushed (stdout is block-buffered when not a terminal).
+    let respond = |line: String| -> Result<(), String> {
+        let mut out = stdout.lock();
+        writeln!(out, "{line}")
+            .and_then(|()| out.flush())
+            .map_err(|e| e.to_string())
+    };
+
+    let mut batch: Vec<(usize, Job)> = Vec::new();
+    let mut next_index = 0usize;
+    let flush = |batch: &mut Vec<(usize, Job)>| -> Result<(), String> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let jobs: Vec<Job> = batch.iter().map(|(_, j)| j.clone()).collect();
+        let mut failure = None;
+        runner.run_with_progress(&jobs, |o| {
+            let (index, _) = batch[o.index];
+            let s = o.stats;
+            let line = format!(
+                "done {index} {} source={} dffs={} splitters={} area={} depth={} gates={} t1={}/{}",
+                o.job.label(),
+                o.source.serve_label(),
+                s.dffs,
+                s.splitters,
+                s.area,
+                s.depth_cycles,
+                s.gates,
+                s.t1_used,
+                s.t1_found
+            );
+            if let Err(e) = respond(line) {
+                failure.get_or_insert(e);
+            }
+        });
+        batch.clear();
+        match failure {
+            Some(e) => Err(format!("serve: cannot write response: {e}")),
+            None => Ok(()),
+        }
+    };
+
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("serve: cannot read stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if trimmed == "---" {
+            flush(&mut batch)?;
+            continue;
+        }
+        let index = next_index;
+        next_index += 1;
+        match parse_serve_request(trimmed, &lib) {
+            Ok(job) => batch.push((index, job)),
+            Err(e) => respond(format!("err {index} {e}"))?,
+        }
+    }
+    flush(&mut batch)
+}
+
+/// Parses one `serve` request line into a [`Job`] (see [`cmd_serve`]).
+fn parse_serve_request(line: &str, lib: &CellLibrary) -> Result<Job, String> {
+    let mut fields = line.split_whitespace();
+    let subject = fields.next().ok_or("benchmark required")?;
+    let (name, width) = match subject.split_once(':') {
+        Some((name, w)) => {
+            let width: usize = w
+                .parse()
+                .map_err(|_| format!("bad width '{w}' in '{subject}'"))?;
+            (name, width)
+        }
+        None => (subject, 0),
+    };
+    let aig = build_benchmark(name, width)?;
+
+    let flow = fields
+        .next()
+        .ok_or("flow required (one of: 1phi, nphi, t1)")?;
+    let mut rest = fields.peekable();
+    let phases: u32 = match rest.peek().and_then(|t| t.parse().ok()) {
+        Some(n) => {
+            rest.next();
+            n
+        }
+        None => 4,
+    };
+    let mut builder = match flow {
+        "1phi" => FlowConfig::single_phase().to_builder(),
+        "nphi" => FlowConfig::multiphase(phases).to_builder(),
+        "t1" => {
+            if phases < 3 {
+                return Err(format!("t1 needs at least 3 phases, got {phases}"));
+            }
+            FlowConfig::t1(phases).to_builder()
+        }
+        other => return Err(format!("unknown flow '{other}' (one of: 1phi, nphi, t1)")),
+    };
+    for opt in rest {
+        builder = match opt {
+            "pre-opt" => builder.standard_opt(),
+            "slack-opt" => builder.slack_opt(),
+            "dff-opt" => builder.dff_opt(),
+            "timing" => builder.timing(true),
+            other => {
+                return Err(format!(
+                    "unknown option '{other}' (one of: pre-opt, slack-opt, dff-opt, timing)"
+                ))
+            }
+        };
+    }
+    Ok(Job::new(
+        format!(
+            "{name}{}",
+            if width > 0 {
+                format!(":{width}")
+            } else {
+                String::new()
+            }
+        ),
+        flow,
+        std::sync::Arc::new(aig),
+        *lib,
+        builder.build(),
+    ))
 }
 
 fn cmd_gen(args: &[String]) -> Result<(), String> {
@@ -643,7 +795,7 @@ fn cmd_map(args: &[String], verify: bool) -> Result<(), String> {
         cfg.engine = PhaseEngine::Exact;
     }
     if has_flag(args, "--pre-opt") {
-        cfg = cfg.with_pre_opt();
+        cfg = cfg.to_builder().standard_opt().build();
     }
     let lib = CellLibrary::default();
     let res = run_flow(&aig, &lib, &cfg);

@@ -365,6 +365,132 @@ fn sta_subcommand_mapped_mode() {
 }
 
 #[test]
+fn suite_cache_dir_warm_start_computes_nothing() {
+    // A second run over a populated store must hit 100% on disk (zero
+    // flow computations) and still emit a byte-identical CSV.
+    let dir = tmp("suite_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold_csv = tmp("cold.csv");
+    let warm_csv = tmp("warm.csv");
+    let mut stdouts = Vec::new();
+    for csv in [&cold_csv, &warm_csv] {
+        let out = bin()
+            .args([
+                "suite",
+                "--small",
+                "--cache-dir",
+                dir.to_str().unwrap(),
+                "--csv",
+                csv.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run suite");
+        assert!(
+            out.status.success(),
+            "suite --cache-dir failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        stdouts.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    assert!(stdouts[0].contains("store: "), "{}", stdouts[0]);
+    let warm = stdouts[1]
+        .lines()
+        .find(|l| l.starts_with("store: "))
+        .expect("warm store summary");
+    assert!(warm.contains(" 0 flow runs"), "warm run computed: {warm}");
+    assert!(
+        !warm.contains("0 disk hits"),
+        "warm run must hit disk: {warm}"
+    );
+    let a = std::fs::read(&cold_csv).expect("cold CSV written");
+    let b = std::fs::read(&warm_csv).expect("warm CSV written");
+    assert_eq!(a, b, "cold and warm CSVs are byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+    for f in [&cold_csv, &warm_csv] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn serve_streams_one_result_line_per_job() {
+    use std::io::Write;
+    let mut child = bin()
+        .args(["serve", "--jobs", "2"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(
+            b"# warm-up batch\n\
+              adder:4 1phi\n\
+              adder:4 t1 4\n\
+              ---\n\
+              square:4 nphi 4\n\
+              bogus t1\n",
+        )
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let done: Vec<&str> = stdout.lines().filter(|l| l.starts_with("done ")).collect();
+    assert_eq!(done.len(), 3, "one result line per job: {stdout}");
+    // Indices are assigned in submission order, across batches.
+    assert!(done.iter().any(|l| l.starts_with("done 0 adder:4/1phi ")));
+    assert!(done.iter().any(|l| l.starts_with("done 1 adder:4/t1 ")));
+    assert!(done.iter().any(|l| l.starts_with("done 2 square:4/nphi ")));
+    for l in &done {
+        assert!(l.contains(" source=computed "), "fresh store: {l}");
+        assert!(l.contains(" dffs=") && l.contains(" area="), "{l}");
+    }
+    // The malformed request gets an err line with its index, not a crash.
+    assert!(
+        stdout.lines().any(|l| l.starts_with("err 3 ")),
+        "bad request reported: {stdout}"
+    );
+}
+
+#[test]
+fn serve_with_cache_dir_reports_sources() {
+    use std::io::Write;
+    let dir = tmp("serve_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = |requests: &[u8]| -> String {
+        let mut child = bin()
+            .args(["serve", "--cache-dir", dir.to_str().unwrap()])
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn serve");
+        child
+            .stdin
+            .take()
+            .expect("stdin piped")
+            .write_all(requests)
+            .expect("write requests");
+        let out = child.wait_with_output().expect("serve exits");
+        assert!(out.status.success());
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    // Same job twice in one batch: computed once, memory hit once.
+    let first = run(b"adder:4 t1 4\nadder:4 t1 4\n");
+    assert_eq!(first.matches("source=computed").count(), 1, "{first}");
+    assert_eq!(first.matches("source=memory").count(), 1, "{first}");
+    // A later process over the same directory serves from disk.
+    let second = run(b"adder:4 t1 4\n");
+    assert!(second.contains("source=disk"), "{second}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn map_accepts_pre_opt_flag() {
     let aag = tmp("preopt.aag");
     assert!(bin()
