@@ -52,6 +52,32 @@ pub fn store_flag(args: &[String]) -> Result<Option<Arc<ResultCache>>, String> {
     Ok(Some(Arc::new(ResultCache::with_backing(Arc::new(disk)))))
 }
 
+/// Parses `--trace <path>`: write a Chrome-trace JSON of the run there.
+/// Same contract as [`csv_flag`]: a bare `--trace` is a hard error.
+pub fn trace_flag(args: &[String]) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == "--trace") else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(path) if !path.starts_with('-') => Ok(Some(path.clone())),
+        _ => Err("--trace requires a file path (e.g. --trace t.json)".to_string()),
+    }
+}
+
+/// Parses `--bench-json <path>`: write the schema-versioned bench report
+/// (the `BENCH_*.json` perf trajectory) there. Bare flag is a hard error.
+pub fn bench_json_flag(args: &[String]) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == "--bench-json") else {
+        return Ok(None);
+    };
+    match args.get(i + 1) {
+        Some(path) if !path.starts_with('-') => Ok(Some(path.clone())),
+        _ => Err(
+            "--bench-json requires a file path (e.g. --bench-json BENCH_table1.json)".to_string(),
+        ),
+    }
+}
+
 /// Parses `--jobs <N>` (N ≥ 1), defaulting to the machine's available
 /// parallelism when the flag is absent.
 pub fn jobs_flag(args: &[String]) -> Result<usize, String> {
@@ -99,6 +125,24 @@ mod tests {
         assert!(cache_dir_flag(&args(&["--cache-dir"])).is_err());
         assert!(cache_dir_flag(&args(&["--cache-dir", "--small"])).is_err());
         assert!(store_flag(&args(&[])).unwrap().is_none());
+    }
+
+    #[test]
+    fn trace_and_bench_json_fail_loudly_on_missing_paths() {
+        assert_eq!(
+            trace_flag(&args(&["--trace", "t.json"])).unwrap(),
+            Some("t.json".into())
+        );
+        assert_eq!(trace_flag(&args(&["--small"])).unwrap(), None);
+        assert!(trace_flag(&args(&["--trace"])).is_err());
+        assert!(trace_flag(&args(&["--trace", "--small"])).is_err());
+        assert_eq!(
+            bench_json_flag(&args(&["--bench-json", "b.json"])).unwrap(),
+            Some("b.json".into())
+        );
+        assert_eq!(bench_json_flag(&args(&[])).unwrap(), None);
+        assert!(bench_json_flag(&args(&["--bench-json"])).is_err());
+        assert!(bench_json_flag(&args(&["--bench-json", "--csv"])).is_err());
     }
 
     #[test]

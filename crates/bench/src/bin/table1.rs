@@ -8,14 +8,21 @@
 //! persistent result store: a second run over a populated store performs
 //! zero flow computations and prints a `store:` breakdown saying so.
 //!
+//! `--trace` writes a Chrome-trace JSON of the run (open it in
+//! `chrome://tracing` or Perfetto) and `--bench-json` writes the
+//! schema-versioned `BENCH_*.json` perf report; both are pure observers —
+//! the table and CSV are byte-identical with or without them.
+//!
 //! ```sh
 //! cargo run --release -p sfq-bench --bin table1 -- \
-//!     [--small] [--pre-opt] [--jobs N] [--csv out.csv] [--cache-dir DIR]
+//!     [--small] [--pre-opt] [--jobs N] [--csv out.csv] [--cache-dir DIR] \
+//!     [--trace t.json] [--bench-json BENCH_table1.json]
 //! ```
 
 use sfq_bench::{
-    csv_flag, jobs_flag, pre_opt_flag, progress_event, progress_line, store_flag, store_summary,
-    suite_summary, table1_jobs_with, table_one, BenchmarkScale,
+    bench_json_flag, bench_report_json, csv_flag, jobs_flag, pre_opt_flag, progress_event,
+    progress_line, result_rows, store_flag, store_summary, suite_summary, table1_jobs_with,
+    table_one, trace_flag, BenchmarkScale, JobSample, ReportMeta,
 };
 use sfq_engine::SuiteRunner;
 use std::process::ExitCode;
@@ -38,6 +45,12 @@ fn run(args: &[String]) -> Result<(), String> {
     let csv_path = csv_flag(args)?;
     let workers = jobs_flag(args)?;
     let store = store_flag(args)?;
+    let trace_path = trace_flag(args)?;
+    let bench_json_path = bench_json_flag(args)?;
+    let observing = trace_path.is_some() || bench_json_path.is_some();
+    if observing {
+        sfq_obs::enable();
+    }
 
     let scale = if small {
         BenchmarkScale::small()
@@ -58,7 +71,12 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(store) = &store {
         runner = runner.with_store(store.clone());
     }
-    let report = runner.run_with_progress(&jobs, |o| progress_event(&o));
+    let mut samples = vec![JobSample::default(); jobs.len()];
+    let report = runner.run_with_progress(&jobs, |o| {
+        samples[o.index] = JobSample::from_outcome(&o);
+        progress_event(&o);
+    });
+    let trace = observing.then(sfq_obs::take).unwrap_or_default();
 
     let table = table_one(&jobs, &report);
     println!("\n{table}");
@@ -74,6 +92,23 @@ fn run(args: &[String]) -> Result<(), String> {
     if let Some(path) = csv_path {
         std::fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("CSV written to {path}");
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(&path, trace.chrome_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    if let Some(path) = bench_json_path {
+        let meta = ReportMeta {
+            suite: "table1".to_string(),
+            scale: if small { "small" } else { "paper" }.to_string(),
+            phases: n,
+            pre_opt,
+        };
+        let rows = result_rows(&jobs, &report);
+        let text = bench_report_json(&meta, &jobs, &rows, &report, &samples, &trace);
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("bench report written to {path}");
     }
     Ok(())
 }

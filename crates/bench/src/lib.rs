@@ -24,9 +24,13 @@ use t1map::flow::FlowConfig;
 
 pub mod args;
 pub mod progress;
+pub mod report;
 pub mod rows;
-pub use args::{cache_dir_flag, csv_flag, jobs_flag, pre_opt_flag, store_flag};
+pub use args::{
+    bench_json_flag, cache_dir_flag, csv_flag, jobs_flag, pre_opt_flag, store_flag, trace_flag,
+};
 pub use progress::progress_line;
+pub use report::{bench_report_json, validate as validate_bench_report, JobSample, ReportMeta};
 pub use rows::{
     progress_event, result_rows, rows_csv, store_summary, suite_summary, table_one, ResultRow,
 };
@@ -115,11 +119,16 @@ pub fn table1_jobs_with(
     lib: &CellLibrary,
     pre_opt: bool,
 ) -> Vec<Job> {
+    // Every Table-I job runs the post-scheduling timing stage: it is pure
+    // analysis (stats and CSV provably unchanged — see
+    // `timing_stage_attaches_a_summary` in `t1map::flow`), so traces and
+    // bench reports carry schedule-slack data on every benchmark.
     let stage = |config: FlowConfig| {
+        let timed = config.to_builder().timing(true);
         if pre_opt {
-            config.to_builder().standard_opt().build()
+            timed.standard_opt().build()
         } else {
-            config
+            timed.build()
         }
     };
     let mut jobs = Vec::new();

@@ -1,0 +1,318 @@
+//! Schema-versioned machine-readable bench reports (`BENCH_*.json`).
+//!
+//! One report captures a whole suite run: per-job wall micros and result
+//! provenance, the mapped-circuit results (nodes, depth, DFFs — the
+//! numbers a perf regression must not silently change), the cache-source
+//! breakdown, and the span rollups of the run's trace. Reports are the
+//! PR-over-PR perf trajectory: CI emits `BENCH_table1.json` on every run
+//! and validates it against [`validate`], so the format only evolves via
+//! an explicit [`BENCH_SCHEMA_VERSION`] bump.
+//!
+//! Emission is hand-rolled JSON (no dependencies) and deliberately free
+//! of absolute timestamps: two runs of equal speed produce structurally
+//! identical reports, which keeps diffs reviewable.
+
+use crate::rows::ResultRow;
+use sfq_engine::{Job, JobOutcome, SuiteReport};
+use sfq_obs::json::Value;
+use sfq_obs::{escape_json, Trace};
+
+/// `schema` field of every report this module writes.
+pub const BENCH_SCHEMA: &str = "sfq-t1/bench-report";
+/// Current schema version; bump on any breaking format change.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Per-job timing sample collected from [`JobOutcome`] progress events.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobSample {
+    /// Wall micros the job occupied a worker.
+    pub micros: u64,
+    /// Result provenance: `"memory"`, `"disk"` or `"computed"`.
+    pub source: &'static str,
+}
+
+impl JobSample {
+    /// Extracts the sample for `o.index` from a progress event.
+    pub fn from_outcome(o: &JobOutcome<'_>) -> Self {
+        JobSample {
+            micros: o.duration.as_micros() as u64,
+            source: o.source.serve_label(),
+        }
+    }
+}
+
+/// Suite-level context the report records alongside the results.
+#[derive(Debug, Clone)]
+pub struct ReportMeta {
+    /// Which suite produced the report (e.g. `"table1"`).
+    pub suite: String,
+    /// Benchmark scale label (`"paper"` or `"small"`).
+    pub scale: String,
+    /// Phase count of the multiphase/T1 flows.
+    pub phases: u32,
+    /// Whether the pre-mapping optimization stage ran.
+    pub pre_opt: bool,
+}
+
+/// Renders the report. `samples` must be indexed like `jobs` (missing
+/// entries render as zero micros with an `"unknown"` source).
+///
+/// # Panics
+///
+/// Panics if `report` was produced from a different job list.
+pub fn bench_report_json(
+    meta: &ReportMeta,
+    jobs: &[Job],
+    rows: &[ResultRow],
+    report: &SuiteReport,
+    samples: &[JobSample],
+    trace: &Trace,
+) -> String {
+    assert_eq!(jobs.len(), rows.len(), "rows must match the job list");
+    let mut out = String::with_capacity(1024 + jobs.len() * 256);
+    out.push_str(&format!(
+        "{{\n  \"schema\": \"{}\",\n  \"schema_version\": {},\n",
+        escape_json(BENCH_SCHEMA),
+        BENCH_SCHEMA_VERSION
+    ));
+    out.push_str(&format!(
+        "  \"suite\": \"{}\",\n  \"scale\": \"{}\",\n  \"phases\": {},\n  \"pre_opt\": {},\n",
+        escape_json(&meta.suite),
+        escape_json(&meta.scale),
+        meta.phases,
+        meta.pre_opt
+    ));
+    out.push_str(&format!(
+        "  \"jobs\": {},\n  \"workers\": {},\n  \"wall_micros\": {},\n",
+        jobs.len(),
+        report.workers,
+        report.elapsed.as_micros()
+    ));
+
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, (job, row)) in jobs.iter().zip(rows).enumerate() {
+        let sample = samples.get(i).copied().unwrap_or(JobSample {
+            micros: 0,
+            source: "unknown",
+        });
+        let s = row.stats;
+        out.push_str(&format!(
+            "    {{\"benchmark\": \"{}\", \"flow\": \"{}\", \"micros\": {}, \"source\": \"{}\", \
+             \"ands\": {}, \"gates\": {}, \"dffs\": {}, \"splitters\": {}, \"cell_area\": {}, \
+             \"area\": {}, \"depth_cycles\": {}, \"t1_found\": {}, \"t1_used\": {}}}{}\n",
+            escape_json(&row.name),
+            escape_json(&row.flow),
+            sample.micros,
+            escape_json(sample.source),
+            job.aig.and_count(),
+            s.gates,
+            s.dffs,
+            s.splitters,
+            s.cell_area,
+            s.area,
+            s.depth_cycles,
+            s.t1_found,
+            s.t1_used,
+            if i + 1 == jobs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    let c = &report.cache;
+    out.push_str(&format!(
+        "  \"cache\": {{\"memory_hits\": {}, \"disk_hits\": {}, \"misses\": {}, \
+         \"disk_entries\": {}, \"disk_errors\": {}}},\n",
+        c.memory_hits, c.disk_hits, c.misses, c.disk.entries, c.disk.errors
+    ));
+
+    out.push_str("  \"spans\": [\n");
+    let rollups = trace.rollups();
+    for (i, r) in rollups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"count\": {}, \"total_micros\": {}}}{}\n",
+            escape_json(&r.name),
+            r.count,
+            r.total_us,
+            if i + 1 == rollups.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+
+    out.push_str("  \"counters\": [\n");
+    for (i, (name, value)) in trace.counters.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"value\": {}}}{}\n",
+            escape_json(name),
+            value,
+            if i + 1 == trace.counters.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Checks that `text` is a well-formed report of the current schema.
+/// Returns a human-readable reason on the first violation.
+pub fn validate(text: &str) -> Result<(), String> {
+    let doc = sfq_obs::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing field '{key}'"));
+    let schema = field("schema")?
+        .as_str()
+        .ok_or("'schema' must be a string")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("schema is '{schema}', expected '{BENCH_SCHEMA}'"));
+    }
+    let version = field("schema_version")?
+        .as_u64()
+        .ok_or("'schema_version' must be an integer")?;
+    if version != BENCH_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version is {version}, expected {BENCH_SCHEMA_VERSION}"
+        ));
+    }
+    for key in ["suite", "scale"] {
+        field(key)?
+            .as_str()
+            .ok_or_else(|| format!("'{key}' must be a string"))?;
+    }
+    for key in ["phases", "jobs", "workers", "wall_micros"] {
+        field(key)?
+            .as_u64()
+            .ok_or_else(|| format!("'{key}' must be a non-negative integer"))?;
+    }
+    field("pre_opt")?
+        .as_bool()
+        .ok_or("'pre_opt' must be a boolean")?;
+
+    let benchmarks = field("benchmarks")?
+        .as_arr()
+        .ok_or("'benchmarks' must be an array")?;
+    if benchmarks.is_empty() {
+        return Err("'benchmarks' must not be empty".to_string());
+    }
+    let job_count = doc.get("jobs").and_then(Value::as_u64).unwrap_or(0);
+    if benchmarks.len() as u64 != job_count {
+        return Err(format!(
+            "'benchmarks' has {} entries but 'jobs' says {job_count}",
+            benchmarks.len()
+        ));
+    }
+    for (i, b) in benchmarks.iter().enumerate() {
+        for key in ["benchmark", "flow", "source"] {
+            b.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("benchmarks[{i}].{key} must be a string"))?;
+        }
+        for key in [
+            "micros",
+            "ands",
+            "gates",
+            "dffs",
+            "splitters",
+            "cell_area",
+            "area",
+            "depth_cycles",
+            "t1_found",
+            "t1_used",
+        ] {
+            b.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("benchmarks[{i}].{key} must be an integer"))?;
+        }
+    }
+
+    let cache = field("cache")?;
+    for key in [
+        "memory_hits",
+        "disk_hits",
+        "misses",
+        "disk_entries",
+        "disk_errors",
+    ] {
+        cache
+            .get(key)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("cache.{key} must be an integer"))?;
+    }
+
+    let spans = field("spans")?.as_arr().ok_or("'spans' must be an array")?;
+    for (i, s) in spans.iter().enumerate() {
+        s.get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("spans[{i}].name must be a string"))?;
+        for key in ["count", "total_micros"] {
+            s.get(key)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("spans[{i}].{key} must be an integer"))?;
+        }
+    }
+    let counters = field("counters")?
+        .as_arr()
+        .ok_or("'counters' must be an array")?;
+    for (i, c) in counters.iter().enumerate() {
+        c.get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("counters[{i}].name must be a string"))?;
+        c.get("value")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("counters[{i}].value must be an integer"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{result_rows, table1_jobs, BenchmarkScale};
+    use sfq_engine::SuiteRunner;
+    use t1map::cells::CellLibrary;
+
+    fn small_report() -> String {
+        let lib = CellLibrary::default();
+        // One benchmark (three flows) keeps this a unit-speed test.
+        let jobs: Vec<_> = table1_jobs(&BenchmarkScale::small(), 4, &lib)
+            .into_iter()
+            .take(3)
+            .collect();
+        let mut samples = vec![JobSample::default(); jobs.len()];
+        let report = SuiteRunner::new(2).run_with_progress(&jobs, |o| {
+            samples[o.index] = JobSample::from_outcome(&o);
+        });
+        let rows = result_rows(&jobs, &report);
+        let meta = ReportMeta {
+            suite: "table1".to_string(),
+            scale: "small".to_string(),
+            phases: 4,
+            pre_opt: false,
+        };
+        bench_report_json(&meta, &jobs, &rows, &report, &samples, &Trace::default())
+    }
+
+    #[test]
+    fn emitted_report_validates() {
+        let text = small_report();
+        validate(&text).expect("fresh report must validate");
+        // And every job carries a real sample.
+        let doc = sfq_obs::json::parse(&text).unwrap();
+        for b in doc.get("benchmarks").unwrap().as_arr().unwrap() {
+            assert_eq!(b.get("source").unwrap().as_str(), Some("computed"));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema_and_missing_fields() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").unwrap_err().contains("schema"));
+        let text = small_report();
+        let wrong_version = text.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(validate(&wrong_version).unwrap_err().contains("99"));
+        let wrong_schema = text.replace(BENCH_SCHEMA, "other/format");
+        assert!(validate(&wrong_schema).is_err());
+        let no_benchmarks = text.replace("\"benchmarks\"", "\"renamed\"");
+        assert!(validate(&no_benchmarks).is_err());
+    }
+}

@@ -106,16 +106,18 @@ pub fn table_one(jobs: &[Job], report: &SuiteReport) -> TableOne {
 }
 
 /// The shared per-job progress line (stderr): completion counter, label,
-/// subject size, result source and duration.
+/// subject size, result source, duration, and the monotonic elapsed time
+/// since run start (`t+<micros>µs`) so interleaved parallel logs order.
 pub fn progress_event(o: &JobOutcome<'_>) {
     progress_line(format_args!(
-        "  [{:>2}/{}] {:<14} {:>6} ANDs  {} in {:>7.1?}",
+        "  [{:>2}/{}] {:<14} {:>6} ANDs  {} in {:>7.1?}  t+{}µs",
         o.completed,
         o.total,
         o.job.label(),
         o.job.aig.and_count(),
         o.source.label(),
-        o.duration
+        o.duration,
+        o.elapsed.as_micros()
     ));
 }
 

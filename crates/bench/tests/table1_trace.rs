@@ -1,0 +1,114 @@
+//! The issue's acceptance command, end to end:
+//! `table1 --small --trace t.json --bench-json BENCH_table1.json` must emit
+//! a valid Chrome trace with spans from every instrumented layer plus a
+//! schema-valid bench report — and tracing must not change the table.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn table1() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_table1"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("sfq_table1_trace_{}_{name}", std::process::id()));
+    p
+}
+
+fn span_names(trace_text: &str) -> Vec<String> {
+    let doc = sfq_obs::json::parse(trace_text).expect("trace is valid JSON");
+    doc.get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array")
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn acceptance_command_emits_trace_and_bench_report() {
+    let trace = tmp("t.json");
+    let bench = tmp("BENCH_table1.json");
+    let traced_csv = tmp("traced.csv");
+    let out = table1()
+        .args([
+            "--small",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--bench-json",
+            bench.to_str().unwrap(),
+            "--csv",
+            traced_csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run table1 --trace --bench-json");
+    assert!(
+        out.status.success(),
+        "table1 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The trace carries spans from core (flow stages), sta and engine.
+    let names = span_names(&std::fs::read_to_string(&trace).expect("trace written"));
+    for required in [
+        "flow:run",
+        "flow:detect",
+        "flow:map",
+        "flow:phase-assign",
+        "flow:dff-insert",
+        "flow:timing",
+        "sta:build",
+        "engine:job",
+        "engine:compute",
+        "engine:queue-wait",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "trace must contain span '{required}': {names:?}"
+        );
+    }
+
+    // The bench report passes its own schema validator.
+    let report = std::fs::read_to_string(&bench).expect("bench report written");
+    sfq_bench::validate_bench_report(&report).expect("BENCH_table1.json validates");
+
+    // Tracing is a pure observer: the CSV matches an untraced run byte
+    // for byte.
+    let plain_csv = tmp("plain.csv");
+    let out = table1()
+        .args(["--small", "--csv", plain_csv.to_str().unwrap()])
+        .output()
+        .expect("run untraced table1");
+    assert!(out.status.success());
+    let a = std::fs::read(&traced_csv).expect("traced CSV");
+    let b = std::fs::read(&plain_csv).expect("plain CSV");
+    assert_eq!(a, b, "tracing changed the table");
+
+    for f in [&trace, &bench, &traced_csv, &plain_csv] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn pre_opt_run_traces_optimizer_passes() {
+    let trace = tmp("preopt.json");
+    let out = table1()
+        .args(["--small", "--pre-opt", "--trace", trace.to_str().unwrap()])
+        .output()
+        .expect("run table1 --pre-opt --trace");
+    assert!(
+        out.status.success(),
+        "table1 --pre-opt failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let names = span_names(&std::fs::read_to_string(&trace).expect("trace written"));
+    for required in ["flow:pre-opt", "opt:strash", "opt:sweep", "opt:rewrite"] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "pre-opt trace must contain span '{required}': {names:?}"
+        );
+    }
+    let _ = std::fs::remove_file(&trace);
+}

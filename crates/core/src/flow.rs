@@ -271,11 +271,13 @@ pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult
         !config.use_t1 || config.phases >= 3,
         "T1 staggering needs at least 3 phases"
     );
+    let _flow_span = sfq_obs::span("flow:run");
     // Pre-mapping optimization: a guarded `sfq-opt` pipeline run, so the
     // mapped network is never larger or deeper than the subject network.
     let optimized;
     let mut pre_opt = None;
     let aig = if config.pre_opt.enabled {
+        let _span = sfq_obs::span("flow:pre-opt");
         let (net, report) = sfq_opt::optimize(aig, &config.pre_opt);
         optimized = net;
         pre_opt = Some(report);
@@ -284,25 +286,39 @@ pub fn run_flow(aig: &Aig, lib: &CellLibrary, config: &FlowConfig) -> FlowResult
         aig
     };
     let (map_result, t1_found): (MapResult, usize) = if config.use_t1 {
-        let baseline = map(aig, lib, None);
-        let det = detect_with_attribution(aig, lib, &config.detect, &baseline.attribution);
+        let det = {
+            let _span = sfq_obs::span("flow:detect");
+            let baseline = map(aig, lib, None);
+            detect_with_attribution(aig, lib, &config.detect, &baseline.attribution)
+        };
         let found = det.found();
-        (map(aig, lib, Some(&det.selection)), found)
+        let mapped = {
+            let _span = sfq_obs::span("flow:map");
+            map(aig, lib, Some(&det.selection))
+        };
+        (mapped, found)
     } else {
+        let _span = sfq_obs::span("flow:map");
         (map(aig, lib, None), 0)
     };
     let mc = map_result.circuit;
-    let schedule = match config.engine {
-        PhaseEngine::Heuristic => assign_phases(&mc, config.phases, config.opt_passes),
-        PhaseEngine::Exact => {
-            assign_phases_exact(&mc, config.phases).expect("exact phase assignment failed")
+    let schedule = {
+        let _span = sfq_obs::span("flow:phase-assign");
+        match config.engine {
+            PhaseEngine::Heuristic => assign_phases(&mc, config.phases, config.opt_passes),
+            PhaseEngine::Exact => {
+                assign_phases_exact(&mc, config.phases).expect("exact phase assignment failed")
+            }
         }
     };
-    let plan = insert_dffs(&mc, &schedule);
-    let timing = config
-        .timing
-        .enabled
-        .then(|| analyze_mapped(&mc, &schedule).summary(&mc, &schedule, &plan));
+    let plan = {
+        let _span = sfq_obs::span("flow:dff-insert");
+        insert_dffs(&mc, &schedule)
+    };
+    let timing = config.timing.enabled.then(|| {
+        let _span = sfq_obs::span("flow:timing");
+        analyze_mapped(&mc, &schedule).summary(&mc, &schedule, &plan)
+    });
     let cell_area = mc.cell_area(lib);
     let area =
         cell_area + plan.total_dffs * lib.dff as u64 + plan.total_splitters * lib.splitter as u64;

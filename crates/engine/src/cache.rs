@@ -190,6 +190,7 @@ impl ResultCache {
                 match slots.get(&key) {
                     Some(Slot::Ready(result, _)) => {
                         self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                        sfq_obs::counter("store.memory.hits", 1);
                         return (result.clone(), HitSource::Memory);
                     }
                     Some(Slot::InFlight) => {
@@ -209,16 +210,22 @@ impl ResultCache {
         };
         // Probe the backing store under the claim, so concurrent requests
         // for the same key cost one disk read, not one each.
-        if let Some(found) = self.backing.as_ref().and_then(|b| b.get(key)) {
+        let probed = self.backing.as_ref().and_then(|b| {
+            let _span = sfq_obs::span("store:probe");
+            b.get(key)
+        });
+        if let Some(found) = probed {
             guard.armed = false;
             self.insert_ready(key, found.clone());
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            sfq_obs::counter("store.disk.hits", 1);
             return (found, HitSource::Disk);
         }
         let result = Arc::new(compute());
         guard.armed = false;
         self.insert_ready(key, result.clone());
         self.misses.fetch_add(1, Ordering::Relaxed);
+        sfq_obs::counter("store.misses", 1);
         if let Some(backing) = &self.backing {
             backing.put(key, &result);
         }

@@ -38,6 +38,9 @@ pub struct JobOutcome<'a> {
     /// in-flight computation of the same key reports the time spent waiting
     /// for that computation instead.
     pub duration: Duration,
+    /// Monotonic wall-clock time from the start of the whole run to this
+    /// job's completion — the timestamp progress reporters print.
+    pub elapsed: Duration,
     /// Aggregate metrics of the result.
     pub stats: FlowStats,
 }
@@ -81,6 +84,7 @@ struct WorkerEvent {
     result: Arc<FlowResult>,
     source: HitSource,
     duration: Duration,
+    elapsed: Duration,
 }
 
 impl SuiteRunner {
@@ -140,6 +144,9 @@ impl SuiteRunner {
         let before = cache.stats();
         let cursor = AtomicUsize::new(0);
         let mut results: Vec<Option<Arc<FlowResult>>> = vec![None; total];
+        // Queue-wait spans are measured from this common origin; `None`
+        // while the recorder is disabled, making the whole path free.
+        let run_start_us = sfq_obs::now_us();
 
         std::thread::scope(|scope| {
             let (tx, rx) = mpsc::channel::<WorkerEvent>();
@@ -152,9 +159,17 @@ impl SuiteRunner {
                         break;
                     }
                     let job = &jobs[index];
+                    if let (Some(submit), Some(picked)) = (run_start_us, sfq_obs::now_us()) {
+                        sfq_obs::emit_span("engine:queue-wait", submit, picked, || job.label());
+                    }
                     let t0 = Instant::now();
-                    let (result, source) = cache
-                        .get_or_compute(job.key(), || run_flow(&job.aig, &job.lib, &job.config));
+                    let (result, source) = {
+                        let _span = sfq_obs::span_labeled("engine:job", || job.label());
+                        cache.get_or_compute(job.key(), || {
+                            let _span = sfq_obs::span_labeled("engine:compute", || job.label());
+                            run_flow(&job.aig, &job.lib, &job.config)
+                        })
+                    };
                     // The receiver only disappears if the collector loop
                     // ended early (callback panic); nothing left to report.
                     let _ = tx.send(WorkerEvent {
@@ -162,6 +177,7 @@ impl SuiteRunner {
                         result,
                         source,
                         duration: t0.elapsed(),
+                        elapsed: start.elapsed(),
                     });
                 });
             }
@@ -175,6 +191,7 @@ impl SuiteRunner {
                     total,
                     source: event.source,
                     duration: event.duration,
+                    elapsed: event.elapsed,
                     stats: event.result.stats,
                 });
                 results[event.index] = Some(event.result);

@@ -101,6 +101,7 @@ impl ResultStore for DiskStore {
                     self.errors.fetch_add(1, Ordering::Relaxed);
                 }
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                sfq_obs::counter("store.disk.misses", 1);
                 return None;
             }
         };
@@ -113,6 +114,8 @@ impl ResultStore for DiskStore {
                 // Corrupt or stale entry: count it, drop it, report a miss.
                 self.errors.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                sfq_obs::counter("store.codec.decode_errors", 1);
+                sfq_obs::counter("store.disk.misses", 1);
                 let _ = fs::remove_file(&path);
                 None
             }
@@ -130,6 +133,7 @@ impl ResultStore for DiskStore {
         match written {
             Ok(()) => {
                 self.puts.fetch_add(1, Ordering::Relaxed);
+                sfq_obs::counter("store.disk.puts", 1);
             }
             Err(_) => {
                 self.errors.fetch_add(1, Ordering::Relaxed);
@@ -206,6 +210,7 @@ impl ResultStore for DiskStore {
         }
 
         self.evicted.fetch_add(removed as u64, Ordering::Relaxed);
+        sfq_obs::counter("store.disk.gc_evicted", removed as u64);
         removed
     }
 }

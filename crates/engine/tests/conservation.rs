@@ -1,0 +1,96 @@
+//! Request-conservation property of the layered result store: every job
+//! submitted to a suite run is served by exactly one tier, so
+//! `memory_hits + disk_hits + misses == jobs` for **any** job mix, worker
+//! count, backing configuration and store prehistory.
+
+use proptest::prelude::*;
+use sfq_circuits::epfl::adder;
+use sfq_engine::{DiskStore, Job, ResultCache, SuiteRunner};
+use std::path::PathBuf;
+use std::sync::Arc;
+use t1map::cells::CellLibrary;
+use t1map::flow::FlowConfig;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sfq-conserve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Decodes one draw into a job: tiny adders (widths 2..=4) × three flow
+/// flavors, so duplicates (→ memory hits) and distinct keys both occur.
+fn job_from(choice: u8, lib: &CellLibrary, aigs: &[Arc<sfq_netlist::aig::Aig>; 3]) -> Job {
+    let width = (choice % 3) as usize;
+    let flow = (choice / 3) % 3;
+    let aig = aigs[width].clone();
+    let name = format!("adder{}", width + 2);
+    match flow {
+        0 => Job::new(name, "1φ", aig, *lib, FlowConfig::single_phase()),
+        1 => Job::new(name, "4φ", aig, *lib, FlowConfig::multiphase(4)),
+        _ => Job::new(name, "T1", aig, *lib, FlowConfig::t1(4)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_job_is_served_by_exactly_one_tier(
+        choices in prop::collection::vec(any::<u8>(), 1..9),
+        workers in any::<u8>(),
+        with_disk in any::<bool>(),
+        prewarm in prop::collection::vec(any::<u8>(), 0..4),
+        case in any::<u64>(),
+    ) {
+        let lib = CellLibrary::default();
+        let aigs = [
+            Arc::new(adder(2)),
+            Arc::new(adder(3)),
+            Arc::new(adder(4)),
+        ];
+        let workers = (workers % 4) as usize + 1;
+        let jobs: Vec<Job> = choices.iter().map(|&c| job_from(c, &lib, &aigs)).collect();
+
+        let dir = with_disk.then(|| tmp_dir(&format!("case-{case}")));
+        let store = match &dir {
+            Some(dir) => {
+                let disk = Arc::new(DiskStore::open(dir).expect("open scratch store"));
+                // Give the disk tier arbitrary prehistory, then drop the
+                // memory tier so those entries can only be *disk* hits.
+                if !prewarm.is_empty() {
+                    let warm: Vec<Job> =
+                        prewarm.iter().map(|&c| job_from(c, &lib, &aigs)).collect();
+                    let warmer = ResultCache::with_backing(disk.clone());
+                    SuiteRunner::new(workers)
+                        .with_store(Arc::new(warmer))
+                        .run(&warm);
+                }
+                Arc::new(ResultCache::with_backing(disk))
+            }
+            None => Arc::new(ResultCache::new()),
+        };
+
+        let report = SuiteRunner::new(workers)
+            .with_store(store)
+            .run(&jobs);
+        let c = &report.cache;
+        prop_assert_eq!(
+            c.memory_hits + c.disk_hits + c.misses,
+            jobs.len() as u64,
+            "workers={} disk={} prewarm={} mix={:?}: {:?}",
+            workers,
+            with_disk,
+            prewarm.len(),
+            choices,
+            c
+        );
+        // And the tiers themselves are coherent: a request can only hit
+        // disk when a backing store is attached.
+        if !with_disk {
+            prop_assert_eq!(c.disk_hits, 0);
+        }
+        if let Some(dir) = dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}

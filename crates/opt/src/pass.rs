@@ -93,6 +93,7 @@ fn stats_around(
     ctx: &mut OptContext,
     f: impl FnOnce(&Aig, &mut OptContext) -> (Aig, usize, Preserved),
 ) -> (PassStats, Preserved) {
+    let _span = sfq_obs::span_owned(|| format!("opt:{pass}"));
     let start = Instant::now();
     let snap = ctx.counters();
     let nodes_before = aig.and_count();
@@ -616,7 +617,19 @@ pub fn optimize(aig: &Aig, config: &OptConfig) -> (Aig, OptReport) {
             analysis: ctx.counters(),
         }
     };
+    mirror_counters(&report.analysis);
     (g, report)
+}
+
+/// Mirrors a run's analysis-context counters into the `sfq-obs` recorder,
+/// so `--stats`/`--trace` see the same numbers the [`OptReport`] carries.
+fn mirror_counters(c: &CtxCounters) {
+    sfq_obs::counter("opt.cache_hits", c.cache_hits as u64);
+    sfq_obs::counter("opt.recomputes", c.recomputes as u64);
+    sfq_obs::counter("opt.invalidations", c.invalidations as u64);
+    sfq_obs::counter("opt.sta_builds", c.sta_full_builds as u64);
+    sfq_obs::counter("opt.sta_rebinds", c.sta_rebinds as u64);
+    sfq_obs::counter("opt.sta_nodes_refreshed", c.sta_nodes_refreshed as u64);
 }
 
 /// Outcome of [`optimize_verified`]: the optimized network plus the
@@ -736,6 +749,7 @@ pub fn optimize_verified(subject: &Aig, config: &OptConfig, cec: &CecConfig) -> 
         converged = round + 1 < max_rounds;
     }
 
+    mirror_counters(&ctx.counters());
     VerifiedRun {
         report: OptReport {
             rounds,

@@ -168,6 +168,7 @@ impl AigSta {
     /// fixpoint round — where passes reproduce the network verbatim — is
     /// nearly free.
     pub fn rebind(&mut self, aig: &Aig) -> RebindStats {
+        let _span = sfq_obs::span("sta:rebind");
         let new_len = aig.len();
         let old_len = self.graph.len();
         let mut dirty: Vec<usize> = Vec::new();

@@ -275,6 +275,7 @@ impl TimingAnalysis {
     }
 
     fn run(graph: &TimingGraph, horizon: Option<i64>) -> Self {
+        let _span = sfq_obs::span("sta:build");
         let n = graph.len();
         let mut arrival = vec![0i64; n];
         for v in 0..n {
@@ -318,6 +319,7 @@ impl TimingAnalysis {
     /// surface as "nodes refreshed vs. rebuilt" statistics.
     pub fn refresh(&mut self, graph: &TimingGraph, dirty: &[usize]) -> usize {
         use std::collections::BTreeSet;
+        let _span = sfq_obs::span("sta:refresh");
         let mut recomputed = 0usize;
         // Forward: arrivals.
         let mut work: BTreeSet<usize> = dirty.iter().copied().collect();

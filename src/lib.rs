@@ -14,6 +14,7 @@
 //! | [`sta`] | static timing & slack analysis (arrival/required propagation, critical paths) |
 //! | [`t1map`] | the paper's flow: T1 detection, multiphase phase assignment, DFF insertion |
 //! | [`engine`] | parallel batch-flow execution with content-addressed result caching |
+//! | [`obs`] | opt-in tracing & metrics: spans, counters, Chrome-trace and summary sinks |
 //! | [`mod@bench`] | paper benchmark suites, engine job lists, progress helper |
 //!
 //! This facade crate re-exports everything and hosts the runnable examples
@@ -37,6 +38,7 @@ pub use sfq_bench as bench;
 pub use sfq_circuits as circuits;
 pub use sfq_engine as engine;
 pub use sfq_netlist as netlist;
+pub use sfq_obs as obs;
 pub use sfq_opt as opt;
 pub use sfq_sim as sim;
 pub use sfq_solver as solver;

@@ -8,6 +8,7 @@
 //! sfq-t1 sta <benchmark|in.aag> [width] [opts]   static timing & slack analysis (sfq-sta)
 //! sfq-t1 suite [options]                         Table-I suite through sfq-engine
 //! sfq-t1 serve [options]                         batch flow service on stdin/stdout
+//! sfq-t1 bench-report [options]                  emit/validate BENCH_*.json perf reports
 //!
 //! options:
 //!   --phases N       number of clock phases (default 4)
@@ -21,7 +22,14 @@
 //!   --jobs N         suite/serve: engine worker threads (default: available parallelism)
 //!   --csv FILE       suite: write the table as CSV
 //!   --cache-dir DIR  suite/serve: persistent result store (second runs hit it)
-//!   --stats          suite: per-backend store breakdown after the table
+//!   --stats          suite: span rollups + store counters after the table
+//!   --trace FILE     suite: Chrome-trace JSON of the run (chrome://tracing, Perfetto)
+//!   --bench-json F   suite: schema-versioned BENCH_*.json perf report
+//!
+//! bench-report runs the Table-I suite and writes the perf-trajectory
+//! report (default BENCH_table1.json; -o FILE overrides). It accepts the
+//! suite options above plus `--check FILE` to only validate an existing
+//! report against the current schema (the CI gate).
 //!
 //! serve reads one job request per stdin line
 //! (`<benchmark>[:width] <1phi|nphi|t1> [phases] [pre-opt|slack-opt|dff-opt] [timing]`,
@@ -54,8 +62,9 @@
 use std::process::ExitCode;
 
 use sfq_t1::bench::{
-    csv_flag, jobs_flag, pre_opt_flag, progress_event, progress_line, store_flag, store_summary,
-    suite_summary, table1_jobs_with, table_one, BenchmarkScale,
+    bench_json_flag, bench_report_json, csv_flag, jobs_flag, pre_opt_flag, progress_event,
+    progress_line, result_rows, store_flag, store_summary, suite_summary, table1_jobs_with,
+    table_one, trace_flag, validate_bench_report, BenchmarkScale, JobSample, ReportMeta,
 };
 use sfq_t1::circuits::{epfl, iscas};
 use sfq_t1::engine::{Job, SuiteRunner};
@@ -81,7 +90,8 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: sfq-t1 <gen|map|verify|opt|sta|suite|serve> ... (see --help in README)".to_string()
+    "usage: sfq-t1 <gen|map|verify|opt|sta|suite|serve|bench-report> ... (see --help in README)"
+        .to_string()
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -93,6 +103,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("sta") => cmd_sta(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("bench-report") => cmd_bench_report(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{}", usage());
             Ok(())
@@ -556,6 +567,17 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     let workers = jobs_flag(args)?;
     let csv_path = csv_flag(args)?;
     let pre_opt = pre_opt_flag(args);
+    let trace_path = trace_flag(args)?;
+    let bench_json_path = bench_json_flag(args)?;
+    let stats = has_flag(args, "--stats");
+    // One recorder feeds every sink: the `--stats` summary table, the
+    // `--trace` Chrome trace and the `--bench-json` span rollups are all
+    // views of the same run. Observation only — the table and CSV are
+    // byte-identical whether or not anything observes.
+    let observing = stats || trace_path.is_some() || bench_json_path.is_some();
+    if observing {
+        sfq_t1::obs::enable();
+    }
 
     let scale = if small {
         BenchmarkScale::small()
@@ -574,28 +596,98 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     if let Some(store) = &store {
         runner = runner.with_store(store.clone());
     }
-    let report = runner.run_with_progress(&jobs, |o| progress_event(&o));
+    let mut samples = vec![JobSample::default(); jobs.len()];
+    let report = runner.run_with_progress(&jobs, |o| {
+        samples[o.index] = JobSample::from_outcome(&o);
+        progress_event(&o);
+    });
+    sfq_t1::obs::gauge("store.disk.entries", report.cache.disk.entries as i64);
+    let trace = observing.then(sfq_t1::obs::take).unwrap_or_default();
+
     let table = table_one(&jobs, &report);
     println!("\n{table}");
-    if store.is_some() || has_flag(args, "--stats") {
+    if store.is_some() || stats {
         println!("{}", store_summary(&report));
     }
-    if has_flag(args, "--stats") {
-        let c = &report.cache;
-        println!(
-            "  memory backend: {} hits, {} misses, {} evicted",
-            c.memory_hits, c.misses, c.evicted
-        );
-        println!(
-            "  disk backend:   {} hits, {} misses, {} puts, {} errors, {} evicted, {} entries",
-            c.disk.hits, c.disk.misses, c.disk.puts, c.disk.errors, c.disk.evicted, c.disk.entries
-        );
+    if stats {
+        print!("{}", trace.summary());
     }
     progress_line(suite_summary(jobs.len(), &report));
     if let Some(path) = csv_path {
         std::fs::write(&path, table.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("CSV written to {path}");
     }
+    if let Some(path) = trace_path {
+        std::fs::write(&path, trace.chrome_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    if let Some(path) = bench_json_path {
+        let meta = ReportMeta {
+            suite: "table1".to_string(),
+            scale: if small { "small" } else { "paper" }.to_string(),
+            phases,
+            pre_opt,
+        };
+        let rows = result_rows(&jobs, &report);
+        let text = bench_report_json(&meta, &jobs, &rows, &report, &samples, &trace);
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("bench report written to {path}");
+    }
+    Ok(())
+}
+
+/// Emits (or, with `--check`, validates) the schema-versioned
+/// `BENCH_*.json` perf-trajectory report: the Table-I suite with tracing
+/// on, rolled up into per-benchmark wall micros, result metrics,
+/// cache-source breakdown and span totals.
+fn cmd_bench_report(args: &[String]) -> Result<(), String> {
+    if let Some(path) = flag_value(args, "--check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        validate_bench_report(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: valid bench report (schema v1)");
+        return Ok(());
+    }
+    let small = has_flag(args, "--small");
+    let pre_opt = pre_opt_flag(args);
+    let workers = jobs_flag(args)?;
+    let store = store_flag(args)?;
+    let out = flag_value(args, "-o").unwrap_or("BENCH_table1.json");
+    let phases = 4u32;
+    sfq_t1::obs::enable();
+
+    let scale = if small {
+        BenchmarkScale::small()
+    } else {
+        BenchmarkScale::paper()
+    };
+    let lib = CellLibrary::default();
+    let jobs = table1_jobs_with(&scale, phases, &lib, pre_opt);
+    let mut runner = SuiteRunner::new(workers);
+    if let Some(store) = &store {
+        runner = runner.with_store(store.clone());
+    }
+    let mut samples = vec![JobSample::default(); jobs.len()];
+    let report = runner.run_with_progress(&jobs, |o| {
+        samples[o.index] = JobSample::from_outcome(&o);
+        progress_event(&o);
+    });
+    sfq_t1::obs::gauge("store.disk.entries", report.cache.disk.entries as i64);
+    let trace = sfq_t1::obs::take();
+    progress_line(suite_summary(jobs.len(), &report));
+
+    let meta = ReportMeta {
+        suite: "table1".to_string(),
+        scale: if small { "small" } else { "paper" }.to_string(),
+        phases,
+        pre_opt,
+    };
+    let rows = result_rows(&jobs, &report);
+    let text = bench_report_json(&meta, &jobs, &rows, &report, &samples, &trace);
+    // A report that fails its own schema must never reach disk.
+    validate_bench_report(&text).map_err(|e| format!("internal: emitted report invalid: {e}"))?;
+    std::fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("bench report written to {out}");
     Ok(())
 }
 
@@ -640,9 +732,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             let (index, _) = batch[o.index];
             let s = o.stats;
             let line = format!(
-                "done {index} {} source={} dffs={} splitters={} area={} depth={} gates={} t1={}/{}",
+                "done {index} {} source={} micros={} dffs={} splitters={} area={} depth={} \
+                 gates={} t1={}/{}",
                 o.job.label(),
                 o.source.serve_label(),
+                o.duration.as_micros(),
                 s.dffs,
                 s.splitters,
                 s.area,

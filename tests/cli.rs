@@ -449,6 +449,7 @@ fn serve_streams_one_result_line_per_job() {
     assert!(done.iter().any(|l| l.starts_with("done 2 square:4/nphi ")));
     for l in &done {
         assert!(l.contains(" source=computed "), "fresh store: {l}");
+        assert!(l.contains(" micros="), "wall-clock per job: {l}");
         assert!(l.contains(" dffs=") && l.contains(" area="), "{l}");
     }
     // The malformed request gets an err line with its index, not a crash.
@@ -488,6 +489,116 @@ fn serve_with_cache_dir_reports_sources() {
     let second = run(b"adder:4 t1 4\n");
     assert!(second.contains("source=disk"), "{second}");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn suite_trace_is_a_pure_observer_and_valid_chrome_json() {
+    // Tracing must never perturb results: the CSV from a traced run is
+    // byte-identical to an untraced one. And the trace file itself must be
+    // well-formed Chrome-trace JSON with spans from every layer.
+    let traced_csv = tmp("traced.csv");
+    let plain_csv = tmp("plain.csv");
+    let trace = tmp("trace.json");
+    let out = bin()
+        .args([
+            "suite",
+            "--small",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--csv",
+            traced_csv.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run traced suite");
+    assert!(
+        out.status.success(),
+        "traced suite failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args(["suite", "--small", "--csv", plain_csv.to_str().unwrap()])
+        .output()
+        .expect("run untraced suite");
+    assert!(out.status.success());
+    let a = std::fs::read(&traced_csv).expect("traced CSV written");
+    let b = std::fs::read(&plain_csv).expect("plain CSV written");
+    assert_eq!(a, b, "tracing changed the results");
+
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let doc = sfq_t1::obs::json::parse(&text).expect("trace is valid JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    // One span from each instrumented layer: core flow stages, the STA
+    // subsystem, and the engine's per-job accounting.
+    for required in [
+        "flow:run",
+        "flow:map",
+        "flow:phase-assign",
+        "flow:dff-insert",
+        "sta:build",
+        "engine:job",
+        "engine:queue-wait",
+    ] {
+        assert!(
+            names.contains(&required),
+            "trace must contain span '{required}': {names:?}"
+        );
+    }
+    for f in [&traced_csv, &plain_csv, &trace] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn bench_report_emit_and_check_roundtrip() {
+    // `bench-report` writes a schema-versioned perf report, and its
+    // `--check` mode accepts exactly what it emits.
+    let json = tmp("bench_report.json");
+    let out = bin()
+        .args(["bench-report", "--small", "-o", json.to_str().unwrap()])
+        .output()
+        .expect("run bench-report");
+    assert!(
+        out.status.success(),
+        "bench-report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&json).expect("report written");
+    let doc = sfq_t1::obs::json::parse(&text).expect("report is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("sfq-t1/bench-report")
+    );
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+
+    let out = bin()
+        .args(["bench-report", "--check", json.to_str().unwrap()])
+        .output()
+        .expect("run bench-report --check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "--check rejected own output: {stdout} {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("valid bench report"), "{stdout}");
+    // A non-report file is rejected loudly.
+    let bogus = tmp("bogus.json");
+    std::fs::write(&bogus, "{\"schema\":\"nope\"}").unwrap();
+    let out = bin()
+        .args(["bench-report", "--check", bogus.to_str().unwrap()])
+        .output()
+        .expect("run bench-report --check bogus");
+    assert!(!out.status.success(), "bogus report must fail --check");
+    for f in [&json, &bogus] {
+        let _ = std::fs::remove_file(f);
+    }
 }
 
 #[test]
