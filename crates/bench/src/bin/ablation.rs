@@ -46,6 +46,10 @@ use t1map::flow::{run_flow, FlowConfig};
 use t1map::mapper::map;
 use t1map::phase::{assign_phases_exact, assign_phases_with, edge_dff_objective, SearchObjective};
 
+// Same counting allocator as the other binaries: inert until tracing.
+#[global_allocator]
+static ALLOC: sfq_obs::alloc::CountingAlloc = sfq_obs::alloc::CountingAlloc::new();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let lib = CellLibrary::default();

@@ -28,6 +28,11 @@ use sfq_engine::SuiteRunner;
 use std::process::ExitCode;
 use t1map::cells::CellLibrary;
 
+// Memory columns of `--bench-json` reports need the counting allocator;
+// it is free (one relaxed load per call) until the recorder is enabled.
+#[global_allocator]
+static ALLOC: sfq_obs::alloc::CountingAlloc = sfq_obs::alloc::CountingAlloc::new();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {

@@ -1,0 +1,487 @@
+//! Regression diffing of two `BENCH_*.json` reports.
+//!
+//! [`diff_reports`] aligns jobs by their benchmark×flow key and
+//! classifies each one:
+//!
+//! - **quality metrics** (`gates`, `dffs`, `splitters`, `area`,
+//!   `depth_cycles`) are deterministic outputs of the flow, so *any*
+//!   increase is a regression — no noise allowance;
+//! - **timing** (`micros`) and **allocation volume** (`alloc_bytes`,
+//!   when both reports carry tracked values) are noisy, so they regress
+//!   only beyond `--max-regress-pct`; smaller increases classify as
+//!   `slower`, mirror-image decreases as `faster`;
+//! - jobs present on one side only are `added`/`removed` — reported,
+//!   but not failures (suites grow and shrink on purpose).
+//!
+//! The result renders as a human table ([`DiffReport::table`]) and a
+//! machine-readable verdict ([`DiffReport::verdict_json`]); the CLI
+//! exits nonzero iff [`DiffReport::ok`] is false. Baselines may be v1
+//! reports (pre-memory): the byte comparison simply switches off.
+
+use crate::report;
+use sfq_obs::escape_json;
+use sfq_obs::json::Value;
+use std::collections::BTreeMap;
+
+/// Default `--max-regress-pct`: generous enough for warm-cache jitter
+/// on one machine, tight enough to catch a real slowdown.
+pub const DEFAULT_MAX_REGRESS_PCT: u64 = 25;
+
+/// Classification of one aligned job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffStatus {
+    /// In the current report only.
+    Added,
+    /// In the baseline only.
+    Removed,
+    /// A metric got worse beyond its allowance — fails the diff.
+    Regressed,
+    /// Timing up, but within the allowance.
+    Slower,
+    /// Timing down beyond the allowance.
+    Faster,
+    /// Nothing moved meaningfully.
+    Unchanged,
+}
+
+impl DiffStatus {
+    /// Stable lowercase label used in both sinks.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiffStatus::Added => "added",
+            DiffStatus::Removed => "removed",
+            DiffStatus::Regressed => "regressed",
+            DiffStatus::Slower => "slower",
+            DiffStatus::Faster => "faster",
+            DiffStatus::Unchanged => "unchanged",
+        }
+    }
+}
+
+/// One job's comparison.
+#[derive(Debug, Clone)]
+pub struct JobDiff {
+    /// Benchmark name (alignment key, first half).
+    pub benchmark: String,
+    /// Flow label (alignment key, second half).
+    pub flow: String,
+    /// Classification.
+    pub status: DiffStatus,
+    /// Baseline wall micros (0 for added jobs).
+    pub base_micros: u64,
+    /// Current wall micros (0 for removed jobs).
+    pub cur_micros: u64,
+    /// Human-readable reasons, one per moved metric.
+    pub notes: Vec<String>,
+}
+
+/// The full comparison of two reports.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Per-job rows, sorted by benchmark then flow.
+    pub jobs: Vec<JobDiff>,
+    /// The timing/allocation allowance the comparison used.
+    pub max_regress_pct: u64,
+}
+
+/// Everything the diff reads out of one `benchmarks[]` entry.
+struct JobMetrics {
+    micros: u64,
+    gates: u64,
+    dffs: u64,
+    splitters: u64,
+    area: u64,
+    depth_cycles: u64,
+    /// `None` when the report predates v2 or tracking was off.
+    alloc_bytes: Option<u64>,
+}
+
+fn parse_jobs(text: &str, which: &str) -> Result<BTreeMap<(String, String), JobMetrics>, String> {
+    report::validate(text).map_err(|e| format!("{which} report invalid: {e}"))?;
+    let doc = sfq_obs::json::parse(text).map_err(|e| format!("{which} report: {e}"))?;
+    let tracked = doc
+        .get("memory")
+        .and_then(|m| m.get("tracked"))
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    let mut out = BTreeMap::new();
+    for b in doc
+        .get("benchmarks")
+        .and_then(Value::as_arr)
+        .into_iter()
+        .flatten()
+    {
+        let s = |key: &str| b.get(key).and_then(Value::as_str).unwrap_or("").to_string();
+        let n = |key: &str| b.get(key).and_then(Value::as_u64).unwrap_or(0);
+        out.insert(
+            (s("benchmark"), s("flow")),
+            JobMetrics {
+                micros: n("micros"),
+                gates: n("gates"),
+                dffs: n("dffs"),
+                splitters: n("splitters"),
+                area: n("area"),
+                depth_cycles: n("depth_cycles"),
+                alloc_bytes: if tracked {
+                    b.get("alloc_bytes").and_then(Value::as_u64)
+                } else {
+                    None
+                },
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// `true` when `cur` exceeds `base` by more than `pct` percent
+/// (integer-exact: no float rounding at the threshold).
+fn beyond(base: u64, cur: u64, pct: u64) -> bool {
+    cur as u128 * 100 > base as u128 * (100 + pct) as u128
+}
+
+fn pct_change(base: u64, cur: u64) -> String {
+    if base == 0 {
+        return "n/a".to_string();
+    }
+    let delta = cur as i128 - base as i128;
+    format!("{:+}%", delta * 100 / base as i128)
+}
+
+fn compare(base: &JobMetrics, cur: &JobMetrics, pct: u64) -> (DiffStatus, Vec<String>) {
+    let mut notes = Vec::new();
+    let mut regressed = false;
+    // Deterministic quality metrics: any increase is a regression.
+    for (name, b, c) in [
+        ("gates", base.gates, cur.gates),
+        ("dffs", base.dffs, cur.dffs),
+        ("splitters", base.splitters, cur.splitters),
+        ("area", base.area, cur.area),
+        ("depth_cycles", base.depth_cycles, cur.depth_cycles),
+    ] {
+        match c.cmp(&b) {
+            std::cmp::Ordering::Greater => {
+                regressed = true;
+                notes.push(format!("{name} {b} → {c}"));
+            }
+            std::cmp::Ordering::Less => notes.push(format!("{name} {b} → {c} (improved)")),
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    // Noisy metrics: percentage allowance. A zero baseline (cache hit
+    // rounding to 0 µs) cannot be compared meaningfully.
+    let mut slower = false;
+    let mut faster = false;
+    if base.micros > 0 {
+        if beyond(base.micros, cur.micros, pct) {
+            regressed = true;
+            notes.push(format!(
+                "micros {} → {} ({}, allowance {pct}%)",
+                base.micros,
+                cur.micros,
+                pct_change(base.micros, cur.micros)
+            ));
+        } else if beyond(cur.micros, base.micros, pct) {
+            faster = true;
+            notes.push(format!(
+                "micros {} → {} ({})",
+                base.micros,
+                cur.micros,
+                pct_change(base.micros, cur.micros)
+            ));
+        } else if cur.micros > base.micros {
+            slower = true;
+        }
+    }
+    if let (Some(b), Some(c)) = (base.alloc_bytes, cur.alloc_bytes) {
+        if b > 0 && beyond(b, c, pct) {
+            regressed = true;
+            notes.push(format!(
+                "alloc_bytes {b} → {c} ({}, allowance {pct}%)",
+                pct_change(b, c)
+            ));
+        }
+    }
+    let status = if regressed {
+        DiffStatus::Regressed
+    } else if slower {
+        DiffStatus::Slower
+    } else if faster {
+        DiffStatus::Faster
+    } else {
+        DiffStatus::Unchanged
+    };
+    (status, notes)
+}
+
+/// Compares two report files' contents. Errors if either fails
+/// [`report::validate`].
+pub fn diff_reports(
+    baseline: &str,
+    current: &str,
+    max_regress_pct: u64,
+) -> Result<DiffReport, String> {
+    let base = parse_jobs(baseline, "baseline")?;
+    let cur = parse_jobs(current, "current")?;
+    let mut jobs = Vec::new();
+    for ((bench, flow), bm) in &base {
+        match cur.get(&(bench.clone(), flow.clone())) {
+            Some(cm) => {
+                let (status, notes) = compare(bm, cm, max_regress_pct);
+                jobs.push(JobDiff {
+                    benchmark: bench.clone(),
+                    flow: flow.clone(),
+                    status,
+                    base_micros: bm.micros,
+                    cur_micros: cm.micros,
+                    notes,
+                });
+            }
+            None => jobs.push(JobDiff {
+                benchmark: bench.clone(),
+                flow: flow.clone(),
+                status: DiffStatus::Removed,
+                base_micros: bm.micros,
+                cur_micros: 0,
+                notes: vec!["not in current report".to_string()],
+            }),
+        }
+    }
+    for ((bench, flow), cm) in &cur {
+        if !base.contains_key(&(bench.clone(), flow.clone())) {
+            jobs.push(JobDiff {
+                benchmark: bench.clone(),
+                flow: flow.clone(),
+                status: DiffStatus::Added,
+                base_micros: 0,
+                cur_micros: cm.micros,
+                notes: vec!["not in baseline".to_string()],
+            });
+        }
+    }
+    jobs.sort_by(|a, b| (&a.benchmark, &a.flow).cmp(&(&b.benchmark, &b.flow)));
+    Ok(DiffReport {
+        jobs,
+        max_regress_pct,
+    })
+}
+
+impl DiffReport {
+    /// Jobs classified as regressed.
+    pub fn regressions(&self) -> Vec<&JobDiff> {
+        self.jobs
+            .iter()
+            .filter(|j| j.status == DiffStatus::Regressed)
+            .collect()
+    }
+
+    /// `true` when no job regressed (the CLI's exit-zero condition).
+    pub fn ok(&self) -> bool {
+        self.regressions().is_empty()
+    }
+
+    /// Renders the human table plus a one-line verdict.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<32} {:>10} {:>10} {:>10} {:>7}  notes\n",
+            "job", "status", "base µs", "cur µs", "Δ"
+        ));
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "  {:<30} {:>10} {:>10} {:>10} {:>7}  {}\n",
+                format!("{}/{}", j.benchmark, j.flow),
+                j.status.label(),
+                j.base_micros,
+                j.cur_micros,
+                pct_change(j.base_micros, j.cur_micros),
+                j.notes.join("; ")
+            ));
+        }
+        let regressed = self.regressions();
+        if regressed.is_empty() {
+            out.push_str(&format!(
+                "OK: no regressions across {} job(s) (allowance {}%)\n",
+                self.jobs.len(),
+                self.max_regress_pct
+            ));
+        } else {
+            out.push_str(&format!(
+                "REGRESSED: {} of {} job(s): {}\n",
+                regressed.len(),
+                self.jobs.len(),
+                regressed
+                    .iter()
+                    .map(|j| format!("{}/{}", j.benchmark, j.flow))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Renders the machine-readable verdict (its own small schema, so
+    /// CI consumers don't parse the human table).
+    pub fn verdict_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"schema\": \"sfq-t1/bench-diff\",\n  \"schema_version\": 1,\n  \
+             \"max_regress_pct\": {},\n  \"jobs\": {},\n  \"regressed\": {},\n  \"ok\": {},\n",
+            self.max_regress_pct,
+            self.jobs.len(),
+            self.regressions().len(),
+            self.ok()
+        ));
+        out.push_str("  \"results\": [\n");
+        for (i, j) in self.jobs.iter().enumerate() {
+            let notes = j
+                .notes
+                .iter()
+                .map(|n| format!("\"{}\"", escape_json(n)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "    {{\"benchmark\": \"{}\", \"flow\": \"{}\", \"status\": \"{}\", \
+                 \"base_micros\": {}, \"cur_micros\": {}, \"notes\": [{}]}}{}\n",
+                escape_json(&j.benchmark),
+                escape_json(&j.flow),
+                j.status.label(),
+                j.base_micros,
+                j.cur_micros,
+                notes,
+                if i + 1 == self.jobs.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal valid v2 report with the given (benchmark, flow, micros,
+    /// gates, alloc_bytes) entries.
+    fn fixture(entries: &[(&str, &str, u64, u64, u64)], tracked: bool) -> String {
+        let mut out = String::from(
+            "{\n\"schema\": \"sfq-t1/bench-report\",\n\"schema_version\": 2,\n\
+             \"suite\": \"table1\",\n\"scale\": \"small\",\n\"phases\": 4,\n\
+             \"pre_opt\": false,\n\"workers\": 2,\n\"wall_micros\": 100,\n",
+        );
+        out.push_str(&format!(
+            "\"jobs\": {},\n\"benchmarks\": [\n",
+            entries.len()
+        ));
+        for (i, (bench, flow, micros, gates, alloc)) in entries.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"benchmark\": \"{bench}\", \"flow\": \"{flow}\", \"micros\": {micros}, \
+                 \"source\": \"computed\", \"ands\": 10, \"gates\": {gates}, \"dffs\": 5, \
+                 \"splitters\": 2, \"cell_area\": 50, \"area\": 80, \"depth_cycles\": 7, \
+                 \"t1_found\": 1, \"t1_used\": 1, \"alloc_bytes\": {alloc}, \
+                 \"peak_bytes\": 1000}}{}\n",
+                if i + 1 == entries.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "],\n\"cache\": {{\"memory_hits\": 0, \"disk_hits\": 0, \"misses\": 0, \
+             \"disk_entries\": 0, \"disk_errors\": 0}},\n\
+             \"memory\": {{\"tracked\": {tracked}, \"allocated_bytes\": 0, \"freed_bytes\": 0, \
+             \"peak_bytes\": 0}},\n\"spans\": [\n],\n\"histograms\": [\n],\n\"counters\": [\n]\n}}\n"
+        ));
+        out
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let text = fixture(&[("adder4", "1φ", 1000, 10, 4096)], true);
+        let d = diff_reports(&text, &text, 25).unwrap();
+        assert!(d.ok());
+        assert!(d.jobs.iter().all(|j| j.status == DiffStatus::Unchanged));
+        assert!(d.table().contains("OK: no regressions"));
+    }
+
+    #[test]
+    fn injected_double_slowdown_flags_exactly_that_job() {
+        let base = fixture(
+            &[
+                ("adder4", "1φ", 1000, 10, 4096),
+                ("adder4", "T1", 2000, 10, 4096),
+            ],
+            true,
+        );
+        let cur = fixture(
+            &[
+                ("adder4", "1φ", 1000, 10, 4096),
+                ("adder4", "T1", 4000, 10, 4096), // 2× slower
+            ],
+            true,
+        );
+        let d = diff_reports(&base, &cur, 25).unwrap();
+        assert!(!d.ok());
+        let reg = d.regressions();
+        assert_eq!(reg.len(), 1, "exactly one job flagged");
+        assert_eq!(
+            (reg[0].benchmark.as_str(), reg[0].flow.as_str()),
+            ("adder4", "T1")
+        );
+        assert!(d.table().contains("REGRESSED: 1 of 2"));
+        assert!(d.table().contains("adder4/T1"));
+        let verdict = d.verdict_json();
+        let doc = sfq_obs::json::parse(&verdict).unwrap();
+        assert_eq!(doc.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(doc.get("regressed").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn quality_metrics_regress_on_any_increase() {
+        let base = fixture(&[("adder4", "1φ", 1000, 10, 4096)], true);
+        let cur = fixture(&[("adder4", "1φ", 1000, 11, 4096)], true);
+        let d = diff_reports(&base, &cur, 25).unwrap();
+        assert!(!d.ok(), "one extra gate must fail the diff");
+        assert!(d.jobs[0].notes.iter().any(|n| n.contains("gates 10 → 11")));
+    }
+
+    #[test]
+    fn timing_within_allowance_is_slower_not_regressed() {
+        let base = fixture(&[("adder4", "1φ", 1000, 10, 0)], true);
+        let cur = fixture(&[("adder4", "1φ", 1200, 10, 0)], true);
+        let d = diff_reports(&base, &cur, 25).unwrap();
+        assert!(d.ok());
+        assert_eq!(d.jobs[0].status, DiffStatus::Slower);
+        // And a mirror-image speedup classifies as faster.
+        let d = diff_reports(&cur, &base, 10).unwrap();
+        assert_eq!(d.jobs[0].status, DiffStatus::Faster);
+    }
+
+    #[test]
+    fn allocation_regression_needs_tracked_reports() {
+        let base_untracked = fixture(&[("adder4", "1φ", 1000, 10, 1000)], false);
+        let cur = fixture(&[("adder4", "1φ", 1000, 10, 900_000)], true);
+        let d = diff_reports(&base_untracked, &cur, 25).unwrap();
+        assert!(d.ok(), "untracked baseline bytes are not comparable");
+        let base_tracked = fixture(&[("adder4", "1φ", 1000, 10, 1000)], true);
+        let d = diff_reports(&base_tracked, &cur, 25).unwrap();
+        assert!(!d.ok(), "900× allocation growth must fail");
+        assert!(d.jobs[0].notes.iter().any(|n| n.contains("alloc_bytes")));
+    }
+
+    #[test]
+    fn added_and_removed_jobs_are_reported_but_not_failures() {
+        let base = fixture(&[("adder4", "1φ", 1000, 10, 0)], true);
+        let cur = fixture(&[("adder4", "T1", 900, 10, 0)], true);
+        let d = diff_reports(&base, &cur, 25).unwrap();
+        assert!(d.ok());
+        let statuses: Vec<_> = d.jobs.iter().map(|j| j.status).collect();
+        assert!(statuses.contains(&DiffStatus::Removed));
+        assert!(statuses.contains(&DiffStatus::Added));
+    }
+
+    #[test]
+    fn invalid_input_is_a_readable_error() {
+        let good = fixture(&[("adder4", "1φ", 1000, 10, 0)], true);
+        let err = diff_reports("not json", &good, 25).unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
+        let err = diff_reports(&good, "{}", 25).unwrap_err();
+        assert!(err.contains("current"), "{err}");
+    }
+}

@@ -23,14 +23,19 @@ use t1map::cells::CellLibrary;
 use t1map::flow::FlowConfig;
 
 pub mod args;
+pub mod diff;
 pub mod progress;
 pub mod report;
 pub mod rows;
 pub use args::{
     bench_json_flag, cache_dir_flag, csv_flag, jobs_flag, pre_opt_flag, store_flag, trace_flag,
 };
+pub use diff::{diff_reports, DiffReport, DiffStatus, JobDiff, DEFAULT_MAX_REGRESS_PCT};
 pub use progress::progress_line;
-pub use report::{bench_report_json, validate as validate_bench_report, JobSample, ReportMeta};
+pub use report::{
+    bench_report_json, tool_report_json, validate as validate_bench_report, JobSample, ReportEntry,
+    ReportMeta,
+};
 pub use rows::{
     progress_event, result_rows, rows_csv, store_summary, suite_summary, table_one, ResultRow,
 };

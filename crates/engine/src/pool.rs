@@ -41,6 +41,14 @@ pub struct JobOutcome<'a> {
     /// Monotonic wall-clock time from the start of the whole run to this
     /// job's completion — the timestamp progress reporters print.
     pub elapsed: Duration,
+    /// Bytes the worker thread allocated while this job occupied it.
+    /// Zero unless the [`sfq_obs::alloc`] wrapper is installed and the
+    /// recorder is enabled.
+    pub alloc_bytes: u64,
+    /// Process-wide peak live bytes observed by this job's end — a
+    /// high-water mark over all threads, not a per-job figure. Zero when
+    /// allocation tracking is off.
+    pub peak_bytes: u64,
     /// Aggregate metrics of the result.
     pub stats: FlowStats,
 }
@@ -85,6 +93,8 @@ struct WorkerEvent {
     source: HitSource,
     duration: Duration,
     elapsed: Duration,
+    alloc_bytes: u64,
+    peak_bytes: u64,
 }
 
 impl SuiteRunner {
@@ -163,6 +173,7 @@ impl SuiteRunner {
                         sfq_obs::emit_span("engine:queue-wait", submit, picked, || job.label());
                     }
                     let t0 = Instant::now();
+                    let alloc0 = sfq_obs::alloc::thread_allocated();
                     let (result, source) = {
                         let _span = sfq_obs::span_labeled("engine:job", || job.label());
                         cache.get_or_compute(job.key(), || {
@@ -178,6 +189,8 @@ impl SuiteRunner {
                         source,
                         duration: t0.elapsed(),
                         elapsed: start.elapsed(),
+                        alloc_bytes: sfq_obs::alloc::thread_allocated().saturating_sub(alloc0),
+                        peak_bytes: sfq_obs::alloc::stats().peak,
                     });
                 });
             }
@@ -192,6 +205,8 @@ impl SuiteRunner {
                     source: event.source,
                     duration: event.duration,
                     elapsed: event.elapsed,
+                    alloc_bytes: event.alloc_bytes,
+                    peak_bytes: event.peak_bytes,
                     stats: event.result.stats,
                 });
                 results[event.index] = Some(event.result);

@@ -1,0 +1,262 @@
+//! Fixed-bucket log-scale histograms for latency and allocation samples.
+//!
+//! A [`Histogram`] is a fixed 256-bucket array: values below 16 get one
+//! exact bucket each, and every power-of-two octave above that is split
+//! into 4 sub-buckets, so any recorded value lands in a bucket whose width
+//! is at most 25% of its lower bound. The layout is *fixed* — every
+//! histogram of every thread uses the same bucket boundaries — which makes
+//! [`merge`](Histogram::merge) a plain element-wise add: commutative,
+//! associative, and therefore independent of thread count and merge order
+//! (the same losslessness guarantee the recorder's counters give).
+//!
+//! Reported percentiles are bucket upper bounds clamped to the exact
+//! observed maximum, so an estimate can overshoot the true quantile by at
+//! most the width of its bucket (≤ 25%) and never undershoots it.
+//! Count, sum, min and max are tracked exactly.
+
+/// Number of buckets in every histogram.
+pub const BUCKETS: usize = 256;
+
+/// Values below this get one exact bucket each.
+const LINEAR_MAX: u64 = 16;
+
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUBS: usize = 4;
+
+/// A fixed-bucket log-scale histogram of `u64` samples (micros, bytes).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("sum", &self.sum)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("p50", &self.percentile(50))
+            .field("p99", &self.percentile(99))
+            .finish()
+    }
+}
+
+/// Bucket index of `v`: exact below 16, then 4 sub-buckets per octave,
+/// saturating in the top bucket.
+pub fn bucket_of(v: u64) -> usize {
+    if v < LINEAR_MAX {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros() as usize; // ≥ 4 here
+    let sub = ((v >> (octave - 2)) & 0b11) as usize;
+    (LINEAR_MAX as usize + (octave - 4) * SUBS + sub).min(BUCKETS - 1)
+}
+
+/// Inclusive `[low, high]` value range of bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < LINEAR_MAX as usize {
+        return (index as u64, index as u64);
+    }
+    let octave = 4 + (index - LINEAR_MAX as usize) / SUBS;
+    let sub = ((index - LINEAR_MAX as usize) % SUBS) as u128;
+    let low = (4 + sub) << (octave - 2);
+    let high = ((5 + sub) << (octave - 2)) - 1;
+    (low as u64, u64::try_from(high).unwrap_or(u64::MAX))
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merges `other` into `self` — element-wise, so the result is the
+    /// same histogram regardless of how the samples were partitioned
+    /// across threads or in what order partitions are merged.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest sample, 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, rounded down; 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum / self.count.max(1)
+    }
+
+    /// The `p`-th percentile (`p` clamped to 0..=100): the upper bound of
+    /// the bucket holding the sample of that rank, clamped to the exact
+    /// observed maximum. Never below the true quantile; above it by at
+    /// most the bucket width (≤ 25% of the value).
+    pub fn percentile(&self, p: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = u64::from(p.min(100));
+        // Rank of the percentile sample, 1-based, ceil — p=0 maps to the
+        // first sample (the minimum), p=100 to the last (the maximum).
+        let rank = ((p * self.count).div_ceil(100)).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_value_line() {
+        // Every value maps to a bucket whose bounds contain it, and bucket
+        // boundaries tile contiguously.
+        for v in (0..4096).chain([u64::MAX / 2, u64::MAX - 1, u64::MAX]) {
+            let b = bucket_of(v);
+            let (lo, hi) = bucket_bounds(b);
+            assert!(lo <= v && v <= hi, "{v} outside bucket {b} [{lo}, {hi}]");
+        }
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo_next, "gap between buckets {i} and {}", i + 1);
+        }
+        // Relative bucket width is bounded by 25% above the linear range.
+        for i in LINEAR_MAX as usize..BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                (hi - lo) * 4 <= lo,
+                "bucket {i} wider than 25%: [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_stats_and_small_value_percentiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.percentile(50), 0);
+        for v in [3, 1, 4, 1, 5, 9, 2, 6] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 31);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 9);
+        assert_eq!(h.mean(), 3);
+        // Below the linear cutoff buckets are exact, so percentiles are too.
+        // Sorted: 1,1,2,3,4,5,6,9 — p50 rank is ceil(0.5·8) = 4th → 3.
+        assert_eq!(h.percentile(0), 1);
+        assert_eq!(h.percentile(50), 3);
+        assert_eq!(h.percentile(100), 9);
+    }
+
+    #[test]
+    fn percentile_never_undershoots_and_stays_in_bucket() {
+        let mut h = Histogram::new();
+        let values: Vec<u64> = (0..500).map(|i| i * i * 7 + 13).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for p in [1, 10, 50, 90, 99, 100] {
+            let rank = ((p * sorted.len() as u64).div_ceil(100)).max(1);
+            let truth = sorted[rank as usize - 1];
+            let est = h.percentile(p as u32);
+            assert!(est >= truth, "p{p}: {est} < true {truth}");
+            let (lo, hi) = bucket_bounds(bucket_of(truth));
+            assert!(
+                est >= lo && est <= hi.min(h.max()),
+                "p{p}: {est} vs [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_partition_independent() {
+        let values: Vec<u64> = (0..300).map(|i| (i * 2654435761u64) >> 16).collect();
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            [&mut a, &mut b, &mut c][i % 3].record(v);
+        }
+        // Merge in one order…
+        let mut abc = a.clone();
+        abc.merge(&b);
+        abc.merge(&c);
+        // …and another.
+        let mut cba = c.clone();
+        cba.merge(&b);
+        cba.merge(&a);
+        assert_eq!(abc, whole);
+        assert_eq!(cba, whole);
+    }
+}

@@ -18,6 +18,12 @@
 //! - **Counters** — named monotonically-accumulated `u64` values, merged
 //!   across threads under one lock.
 //! - **Gauges** — named last-write-wins `i64` values.
+//! - **Histograms** — fixed-bucket log-scale [`Histogram`]s of `u64`
+//!   samples. Every span close automatically records its duration under
+//!   the span's name (and, when the [`alloc`] wrapper is counting, its
+//!   allocation delta under `{name}.bytes`), so rollups carry
+//!   p50/p90/p99/max, not just mean. [`record_value`] feeds ad-hoc
+//!   samples. Merging is element-wise and lossless, like counters.
 //!
 //! [`take`] drains everything into a [`Trace`], which renders to the two
 //! sinks: [`Trace::chrome_json`] (the Chrome trace-event format, loadable
@@ -28,8 +34,14 @@
 //!
 //! The sibling [`json`] module is a minimal JSON parser used by tests
 //! and CLI validators to check emitted files without external crates.
+//! The [`alloc`] module is an opt-in counting `#[global_allocator]`
+//! wrapper that follows the same enable path as the recorder.
 
+pub mod alloc;
+pub mod hist;
 pub mod json;
+
+pub use hist::Histogram;
 
 use std::borrow::Cow;
 use std::cell::Cell;
@@ -54,6 +66,9 @@ pub struct SpanEvent {
     pub dur_us: u64,
     /// Nesting depth on its thread at open time (0 = top level).
     pub depth: u32,
+    /// Bytes this span's thread allocated while the span was open. Zero
+    /// unless the [`alloc`] wrapper is installed and counting.
+    pub alloc_bytes: u64,
 }
 
 struct Recorder {
@@ -64,6 +79,7 @@ struct Recorder {
     events: Mutex<Vec<SpanEvent>>,
     counters: Mutex<BTreeMap<Cow<'static, str>, u64>>,
     gauges: Mutex<BTreeMap<Cow<'static, str>, i64>>,
+    histograms: Mutex<BTreeMap<Cow<'static, str>, Histogram>>,
 }
 
 static RECORDER: Recorder = Recorder {
@@ -73,6 +89,7 @@ static RECORDER: Recorder = Recorder {
     events: Mutex::new(Vec::new()),
     counters: Mutex::new(BTreeMap::new()),
     gauges: Mutex::new(BTreeMap::new()),
+    histograms: Mutex::new(BTreeMap::new()),
 };
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
@@ -95,6 +112,8 @@ pub fn enable() {
     lock(&RECORDER.events).clear();
     lock(&RECORDER.counters).clear();
     lock(&RECORDER.gauges).clear();
+    lock(&RECORDER.histograms).clear();
+    alloc::reset();
     RECORDER.open.store(0, Ordering::Relaxed);
     RECORDER.enabled.store(true, Ordering::Relaxed);
 }
@@ -139,6 +158,9 @@ struct OpenSpan {
     tid: u64,
     start_us: u64,
     depth: u32,
+    /// Thread-allocated bytes at open time; the close delta is the
+    /// span's allocation volume (exact: the tally is per-thread).
+    alloc_at_open: u64,
 }
 
 fn open(name: Cow<'static, str>, label: Option<String>) -> Span {
@@ -159,6 +181,7 @@ fn open(name: Cow<'static, str>, label: Option<String>) -> Span {
             tid,
             start_us,
             depth,
+            alloc_at_open: alloc::thread_allocated(),
         }),
     }
 }
@@ -175,13 +198,20 @@ impl Drop for Span {
             .unwrap_or(open.start_us);
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         RECORDER.open.fetch_sub(1, Ordering::Relaxed);
+        let dur_us = end_us.saturating_sub(open.start_us);
+        let alloc_bytes = alloc::thread_allocated().saturating_sub(open.alloc_at_open);
+        record_hist(open.name.clone(), dur_us);
+        if alloc::is_tracking() {
+            record_hist(Cow::Owned(format!("{}.bytes", open.name)), alloc_bytes);
+        }
         lock(&RECORDER.events).push(SpanEvent {
             name: open.name,
             label: open.label,
             tid: open.tid,
             start_us: open.start_us,
-            dur_us: end_us.saturating_sub(open.start_us),
+            dur_us,
             depth: open.depth,
+            alloc_bytes,
         });
     }
 }
@@ -220,13 +250,16 @@ pub fn emit_span(name: &'static str, start_us: u64, end_us: u64, label: impl FnO
     }
     let tid = TID.with(|t| *t);
     let depth = DEPTH.with(|d| d.get());
+    let dur_us = end_us.saturating_sub(start_us);
+    record_hist(Cow::Borrowed(name), dur_us);
     lock(&RECORDER.events).push(SpanEvent {
         name: Cow::Borrowed(name),
         label: Some(label()),
         tid,
         start_us,
-        dur_us: end_us.saturating_sub(start_us),
+        dur_us,
         depth,
+        alloc_bytes: 0,
     });
 }
 
@@ -246,6 +279,37 @@ pub fn gauge(name: &'static str, value: i64) {
         return;
     }
     lock(&RECORDER.gauges).insert(Cow::Borrowed(name), value);
+}
+
+fn record_hist(name: Cow<'static, str>, value: u64) {
+    lock(&RECORDER.histograms)
+        .entry(name)
+        .or_default()
+        .record(value);
+}
+
+/// Records one sample into the named histogram. Span closes call this
+/// implicitly with their duration; use it directly for ad-hoc series
+/// (sizes, queue depths). Disabled cost: one atomic load.
+pub fn record_value(name: &'static str, value: u64) {
+    if !is_enabled() {
+        return;
+    }
+    record_hist(Cow::Borrowed(name), value);
+}
+
+/// Snapshot of one histogram without draining it — for live status
+/// lines (e.g. serve `stats`) that must not disturb the recording.
+pub fn histogram(name: &str) -> Option<Histogram> {
+    lock(&RECORDER.histograms).get(name).cloned()
+}
+
+/// Drops the recorded span events while keeping counters, gauges and
+/// histograms accumulating. Long-running processes (serve mode) call
+/// this after each flush so recorder memory stays bounded: per-event
+/// storage is cleared, per-name aggregates keep their full history.
+pub fn discard_events() {
+    lock(&RECORDER.events).clear();
 }
 
 /// Drains everything recorded so far into a [`Trace`]. Recording state
@@ -269,10 +333,15 @@ pub fn take() -> Trace {
         .into_iter()
         .map(|(k, v)| (k.into_owned(), v))
         .collect();
+    let histograms = std::mem::take(&mut *lock(&RECORDER.histograms))
+        .into_iter()
+        .map(|(k, v)| (k.into_owned(), v))
+        .collect();
     Trace {
         events,
         counters,
         gauges,
+        histograms,
     }
 }
 
@@ -285,6 +354,9 @@ pub struct Trace {
     pub counters: Vec<(String, u64)>,
     /// Final gauge values, sorted by name.
     pub gauges: Vec<(String, i64)>,
+    /// Histograms, sorted by name. Span names hold duration micros;
+    /// `{span}.bytes` hold per-span allocation deltas.
+    pub histograms: Vec<(String, Histogram)>,
 }
 
 /// Per-span-name aggregate used by the summary sink and bench reports.
@@ -301,7 +373,18 @@ pub struct Rollup {
 impl Trace {
     /// True when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+        self.events.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
     }
 
     /// Aggregates spans by name, sorted by name for determinism.
@@ -345,15 +428,21 @@ impl Trace {
                 e.start_us,
                 e.dur_us
             );
+            let alloc = if e.alloc_bytes > 0 {
+                format!(",\"alloc_bytes\":{}", e.alloc_bytes)
+            } else {
+                String::new()
+            };
             match &e.label {
                 Some(label) => {
                     ev.push_str(&format!(
-                        ",\"args\":{{\"label\":\"{}\",\"depth\":{}}}}}",
+                        ",\"args\":{{\"label\":\"{}\",\"depth\":{}{}}}}}",
                         escape_json(label),
-                        e.depth
+                        e.depth,
+                        alloc
                     ));
                 }
-                None => ev.push_str(&format!(",\"args\":{{\"depth\":{}}}}}", e.depth)),
+                None => ev.push_str(&format!(",\"args\":{{\"depth\":{}{}}}}}", e.depth, alloc)),
             }
             push(ev, &mut out);
         }
@@ -385,28 +474,58 @@ impl Trace {
                 &mut out,
             );
         }
+        // One counter sample per histogram: a `hist:*` track carrying the
+        // percentile summary, viewable alongside the span timeline.
+        for (name, h) in &self.histograms {
+            push(
+                format!(
+                    "{{\"name\":\"hist:{}\",\"cat\":\"sfq\",\"ph\":\"C\",\"pid\":1,\"ts\":{},\
+                     \"args\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}}}",
+                    escape_json(name),
+                    end_ts,
+                    h.percentile(50),
+                    h.percentile(90),
+                    h.percentile(99),
+                    h.max()
+                ),
+                &mut out,
+            );
+        }
         out.push_str("]}\n");
         out
     }
 
-    /// Renders the human summary: span rollups sorted by total time,
-    /// then counters and gauges. This is the `--stats` sink.
+    /// Renders the human summary: span rollups (count, total, mean and —
+    /// when histograms were recorded — p50/p99/max plus the peak per-span
+    /// allocation) sorted by total time, then counters and gauges, then
+    /// histograms that belong to no span. This is the `--stats` sink.
     pub fn summary(&self) -> String {
         let mut out = String::new();
         let mut rollups = self.rollups();
         rollups.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+        let mut span_hist_names = std::collections::BTreeSet::new();
         if !rollups.is_empty() {
             out.push_str(&format!(
-                "{:<28} {:>7} {:>12} {:>12}\n",
-                "span", "count", "total µs", "mean µs"
+                "{:<28} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
+                "span", "count", "total µs", "mean µs", "p50 µs", "p99 µs", "max µs", "peak B"
             ));
             for r in &rollups {
+                let bytes_name = format!("{}.bytes", r.name);
+                let dur = self.histogram(&r.name);
+                let bytes = self.histogram(&bytes_name);
+                span_hist_names.insert(r.name.clone());
+                span_hist_names.insert(bytes_name);
+                let pct = |p| dur.map_or("-".to_string(), |h| h.percentile(p).to_string());
                 out.push_str(&format!(
-                    "  {:<26} {:>7} {:>12} {:>12}\n",
+                    "  {:<26} {:>7} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}\n",
                     r.name,
                     r.count,
                     r.total_us,
-                    r.total_us / r.count.max(1) as u64
+                    r.total_us / r.count.max(1) as u64,
+                    pct(50),
+                    pct(99),
+                    dur.map_or("-".to_string(), |h| h.max().to_string()),
+                    bytes.map_or("-".to_string(), |h| h.max().to_string()),
                 ));
             }
         }
@@ -417,6 +536,27 @@ impl Trace {
             }
             for (name, value) in &self.gauges {
                 out.push_str(&format!("  {:<26} {:>12}\n", name, value));
+            }
+        }
+        let extra: Vec<_> = self
+            .histograms
+            .iter()
+            .filter(|(n, _)| !span_hist_names.contains(n))
+            .collect();
+        if !extra.is_empty() {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>10} {:>10} {:>10}\n",
+                "histogram", "count", "p50", "p99", "max"
+            ));
+            for (name, h) in extra {
+                out.push_str(&format!(
+                    "  {:<26} {:>7} {:>10} {:>10} {:>10}\n",
+                    name,
+                    h.count(),
+                    h.percentile(50),
+                    h.percentile(99),
+                    h.max()
+                ));
             }
         }
         out

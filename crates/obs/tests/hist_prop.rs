@@ -1,0 +1,96 @@
+//! Property tests of [`sfq_obs::Histogram`]: merge must be independent
+//! of how samples were partitioned across threads and of merge order,
+//! and percentile estimates must bracket the true quantiles within one
+//! bucket's resolution.
+
+use proptest::prelude::*;
+use sfq_obs::hist::{bucket_bounds, bucket_of};
+use sfq_obs::Histogram;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn merge_is_order_and_thread_count_independent(
+        values in prop::collection::vec(any::<u64>(), 1..200),
+        threads in 1usize..8,
+        rotate in 0usize..200,
+    ) {
+        // Ground truth: one histogram fed sequentially.
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+
+        // Partition round-robin over `threads` shards, really recording
+        // on separate threads to cover any thread-affine state.
+        let shards: Vec<Histogram> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let vals = &values;
+                    scope.spawn(move || {
+                        let mut h = Histogram::new();
+                        for (i, &v) in vals.iter().enumerate() {
+                            if i % threads == t {
+                                h.record(v);
+                            }
+                        }
+                        h
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        // Merge in an arbitrary rotation of shard order.
+        let mut merged = Histogram::new();
+        for i in 0..shards.len() {
+            merged.merge(&shards[(i + rotate) % shards.len()]);
+        }
+        prop_assert_eq!(&merged, &whole);
+
+        // And pairwise tree-merge (another association) agrees too.
+        let mut tree = shards;
+        while tree.len() > 1 {
+            let mut next = Vec::new();
+            for pair in tree.chunks(2) {
+                let mut h = pair[0].clone();
+                if let Some(b) = pair.get(1) {
+                    h.merge(b);
+                }
+                next.push(h);
+            }
+            tree = next;
+        }
+        prop_assert_eq!(&tree[0], &whole);
+    }
+
+    #[test]
+    fn percentiles_bracket_true_quantiles_within_bucket_resolution(
+        values in prop::collection::vec(0u64..1_000_000_000, 1..300),
+        p in 0u32..101,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let rank = ((u64::from(p.min(100)) * sorted.len() as u64).div_ceil(100)).max(1);
+        let truth = sorted[rank as usize - 1];
+        let est = h.percentile(p);
+        // Never undershoots the true quantile…
+        prop_assert!(est >= truth, "p{}: {} < true {}", p, est, truth);
+        // …and overshoots by at most the truth's bucket (clamped to max).
+        let (_, hi) = bucket_bounds(bucket_of(truth));
+        prop_assert!(
+            est <= hi.min(h.max()),
+            "p{}: {} above bucket cap {} (max {})",
+            p, est, hi, h.max()
+        );
+        // Exact stats stay exact.
+        prop_assert_eq!(h.min(), sorted[0]);
+        prop_assert_eq!(h.max(), *sorted.last().unwrap());
+        prop_assert_eq!(h.count(), sorted.len() as u64);
+    }
+}

@@ -71,8 +71,19 @@ fn chrome_trace_json_is_valid_and_faithful() {
         .get("traceEvents")
         .and_then(|v| v.as_arr())
         .expect("traceEvents array");
-    // 2 spans + 1 counter + 1 gauge.
-    assert_eq!(events.len(), 4);
+    // 2 spans + 1 counter + 1 gauge + 2 histogram tracks (one per
+    // distinct span name, auto-fed on close).
+    assert_eq!(events.len(), 6);
+    let hist = events
+        .iter()
+        .find(|e| e.get("name").and_then(|v| v.as_str()) == Some("hist:stage"))
+        .expect("span close feeds a hist:stage counter track");
+    for key in ["p50", "p90", "p99", "max"] {
+        assert!(
+            hist.get("args").and_then(|a| a.get(key)).is_some(),
+            "hist track carries {key}"
+        );
+    }
     for e in events {
         assert!(e.get("name").and_then(|v| v.as_str()).is_some());
         assert!(matches!(

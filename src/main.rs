@@ -9,6 +9,7 @@
 //! sfq-t1 suite [options]                         Table-I suite through sfq-engine
 //! sfq-t1 serve [options]                         batch flow service on stdin/stdout
 //! sfq-t1 bench-report [options]                  emit/validate BENCH_*.json perf reports
+//! sfq-t1 bench-report diff BASE CUR [opts]       regression-diff two BENCH_*.json reports
 //!
 //! options:
 //!   --phases N       number of clock phases (default 4)
@@ -23,18 +24,26 @@
 //!   --csv FILE       suite: write the table as CSV
 //!   --cache-dir DIR  suite/serve: persistent result store (second runs hit it)
 //!   --stats          suite: span rollups + store counters after the table
-//!   --trace FILE     suite: Chrome-trace JSON of the run (chrome://tracing, Perfetto)
-//!   --bench-json F   suite: schema-versioned BENCH_*.json perf report
+//!   --trace FILE     suite/opt/sta: Chrome-trace JSON of the run (chrome://tracing)
+//!   --bench-json F   suite/opt/sta: schema-versioned BENCH_*.json perf report
 //!
 //! bench-report runs the Table-I suite and writes the perf-trajectory
 //! report (default BENCH_table1.json; -o FILE overrides). It accepts the
 //! suite options above plus `--check FILE` to only validate an existing
 //! report against the current schema (the CI gate).
 //!
+//! bench-report diff compares two reports job-by-job (aligned on
+//! benchmark×flow): deterministic quality metrics (gates, DFFs, area,
+//! depth) regress on any increase; timing/allocation regress beyond
+//! `--max-regress-pct N` (default 25). `--json` emits the machine
+//! verdict instead of the table. Exits nonzero iff a job regressed.
+//!
 //! serve reads one job request per stdin line
 //! (`<benchmark>[:width] <1phi|nphi|t1> [phases] [pre-opt|slack-opt|dff-opt] [timing]`,
 //! `#` comments, `---` flushes the batch early) and streams one
-//! `done <idx> ...` or `err <idx> ...` line per request to stdout.
+//! `done <idx> ...` or `err <idx> ...` line per request to stdout. A
+//! `stats` line responds immediately with a one-line flushed snapshot of
+//! the session counters (`stats memory_hits=... p99_compute_us=...`).
 //!
 //! opt options:
 //!   --passes LIST    comma-separated pass sequence (default strash,sweep,rewrite,balance)
@@ -62,9 +71,10 @@
 use std::process::ExitCode;
 
 use sfq_t1::bench::{
-    bench_json_flag, bench_report_json, csv_flag, jobs_flag, pre_opt_flag, progress_event,
-    progress_line, result_rows, store_flag, store_summary, suite_summary, table1_jobs_with,
-    table_one, trace_flag, validate_bench_report, BenchmarkScale, JobSample, ReportMeta,
+    bench_json_flag, bench_report_json, csv_flag, diff_reports, jobs_flag, pre_opt_flag,
+    progress_event, progress_line, result_rows, store_flag, store_summary, suite_summary,
+    table1_jobs_with, table_one, tool_report_json, trace_flag, validate_bench_report,
+    BenchmarkScale, JobSample, ReportEntry, ReportMeta, DEFAULT_MAX_REGRESS_PCT,
 };
 use sfq_t1::circuits::{epfl, iscas};
 use sfq_t1::engine::{Job, SuiteRunner};
@@ -77,6 +87,12 @@ use sfq_t1::t1map::cells::CellLibrary;
 use sfq_t1::t1map::flow::{run_flow, FlowConfig, PhaseEngine};
 use sfq_t1::t1map::to_pulse_circuit;
 use sfq_t1::t1map::verilog::{cell_models, export, ExportOptions};
+
+// Counting allocator wrapper: behaves exactly like the system allocator
+// (one relaxed atomic load per call) until the recorder is enabled, then
+// feeds the memory columns of traces, bench reports and serve stats.
+#[global_allocator]
+static ALLOC: sfq_t1::obs::alloc::CountingAlloc = sfq_t1::obs::alloc::CountingAlloc::new();
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -197,7 +213,7 @@ fn load_subject(name: &str, width: usize) -> Result<Aig, String> {
 /// Flags the `opt` subcommand accepts (`true` = the flag consumes the next
 /// argument as its value). Anything else starting with `-` is a hard error
 /// — see [`reject_unknown_flags`].
-const OPT_FLAGS: [(&str, bool); 9] = [
+const OPT_FLAGS: [(&str, bool); 11] = [
     ("--passes", true),
     ("--slack-aware", false),
     ("--dff-aware", false),
@@ -206,6 +222,8 @@ const OPT_FLAGS: [(&str, bool); 9] = [
     ("--rounds", true),
     ("--verify", false),
     ("--stats", false),
+    ("--trace", true),
+    ("--bench-json", true),
     ("-o", true),
 ];
 
@@ -311,6 +329,16 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
             .ok_or_else(|| format!("bad --rounds: '{r}' is not a positive integer"))?;
     }
 
+    // Same observation-only recorder as the suite: `--trace` and
+    // `--bench-json` watch the run without changing its output.
+    let trace_path = trace_flag(args)?;
+    let bench_json_path = bench_json_flag(args)?;
+    let observing = trace_path.is_some() || bench_json_path.is_some();
+    if observing {
+        sfq_t1::obs::enable();
+    }
+    let opt_start = std::time::Instant::now();
+
     let verify = has_flag(args, "--verify");
     let (optimized, report, verified) = if verify {
         // Pass-by-pass equivalence checking, chained by transitivity into
@@ -322,6 +350,7 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         let (optimized, report) = optimize(&aig, &config);
         (optimized, report, None)
     };
+    let opt_micros = opt_start.elapsed().as_micros() as u64;
     println!(
         "{name}: {} PIs, {} POs, {} ANDs, depth {}",
         aig.pi_count(),
@@ -430,6 +459,36 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         std::fs::write(out, payload).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("optimized AIGER -> {out}");
     }
+
+    if observing {
+        let trace = sfq_t1::obs::take();
+        if let Some(path) = trace_path {
+            std::fs::write(&path, trace.chrome_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("trace written to {path}");
+        }
+        if let Some(path) = bench_json_path {
+            let mem = sfq_t1::obs::alloc::stats();
+            let entry = ReportEntry {
+                benchmark: name.to_string(),
+                flow: "opt".to_string(),
+                micros: opt_micros,
+                source: "computed".to_string(),
+                // Tool reports repurpose the AIG-shape columns: node
+                // count and combinational depth of the optimized result.
+                ands: optimized.and_count() as u64,
+                depth_cycles: report.depth_after as u64,
+                alloc_bytes: mem.allocated,
+                peak_bytes: mem.peak,
+                ..ReportEntry::default()
+            };
+            let text = tool_report_json("opt", &entry, opt_micros, &trace);
+            validate_bench_report(&text)
+                .map_err(|e| format!("internal: emitted report invalid: {e}"))?;
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("bench report written to {path}");
+        }
+    }
     Ok(())
 }
 
@@ -457,6 +516,16 @@ fn cmd_sta(args: &[String]) -> Result<(), String> {
     if has_flag(args, "--pre-opt") {
         aig = optimize(&aig, &OptConfig::standard()).0;
     }
+    // Same observation-only recorder as the suite: `--trace` and
+    // `--bench-json` watch the analysis without changing its output.
+    let trace_path = trace_flag(args)?;
+    let bench_json_path = bench_json_flag(args)?;
+    let observing = trace_path.is_some() || bench_json_path.is_some();
+    if observing {
+        sfq_t1::obs::enable();
+    }
+    let sta_start = std::time::Instant::now();
+    let mut report_depth = aig.depth() as u64;
     println!(
         "{name}: {} PIs, {} POs, {} ANDs, depth {}",
         aig.pi_count(),
@@ -485,6 +554,7 @@ fn cmd_sta(args: &[String]) -> Result<(), String> {
         // the flow's own timing stage here would analyze twice).
         let timing = analyze_mapped(&res.mapped, &res.schedule);
         let summary = timing.summary(&res.mapped, &res.schedule, &res.plan);
+        report_depth = res.schedule.depth_cycles() as u64;
         println!(
             "mapped timing (n = {phases} phases): horizon {} stages ({} cycles), \
              {} scheduled cells",
@@ -547,6 +617,35 @@ fn cmd_sta(args: &[String]) -> Result<(), String> {
             std::fs::write(path, TimingReport::node_csv(sta.graph(), sta.analysis()))
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
             println!("timing CSV -> {path}");
+        }
+    }
+
+    if observing {
+        let sta_micros = sta_start.elapsed().as_micros() as u64;
+        let trace = sfq_t1::obs::take();
+        if let Some(path) = trace_path {
+            std::fs::write(&path, trace.chrome_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("trace written to {path}");
+        }
+        if let Some(path) = bench_json_path {
+            let mem = sfq_t1::obs::alloc::stats();
+            let entry = ReportEntry {
+                benchmark: name.to_string(),
+                flow: "sta".to_string(),
+                micros: sta_micros,
+                source: "computed".to_string(),
+                ands: aig.and_count() as u64,
+                depth_cycles: report_depth,
+                alloc_bytes: mem.allocated,
+                peak_bytes: mem.peak,
+                ..ReportEntry::default()
+            };
+            let text = tool_report_json("sta", &entry, sta_micros, &trace);
+            validate_bench_report(&text)
+                .map_err(|e| format!("internal: emitted report invalid: {e}"))?;
+            std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("bench report written to {path}");
         }
     }
     Ok(())
@@ -642,10 +741,13 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
 /// on, rolled up into per-benchmark wall micros, result metrics,
 /// cache-source breakdown and span totals.
 fn cmd_bench_report(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("diff") {
+        return cmd_bench_diff(&args[1..]);
+    }
     if let Some(path) = flag_value(args, "--check") {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         validate_bench_report(&text).map_err(|e| format!("{path}: {e}"))?;
-        println!("{path}: valid bench report (schema v1)");
+        println!("{path}: valid bench report");
         return Ok(());
     }
     let small = has_flag(args, "--small");
@@ -691,6 +793,63 @@ fn cmd_bench_report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `bench-report diff BASELINE CURRENT [--max-regress-pct N] [--json]`:
+/// the regression gate. Prints the per-job table (or, with `--json`, the
+/// machine-readable verdict) and fails — nonzero exit — iff any job
+/// regressed beyond its allowance.
+fn cmd_bench_diff(args: &[String]) -> Result<(), String> {
+    let positional: Vec<&String> = {
+        // `--max-regress-pct` consumes its value; skip it when collecting.
+        let mut out = Vec::new();
+        let mut skip = false;
+        for a in args {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if a == "--max-regress-pct" {
+                skip = true;
+            } else if !a.starts_with('-') {
+                out.push(a);
+            }
+        }
+        out
+    };
+    let [baseline, current] = positional.as_slice() else {
+        return Err("bench-report diff: exactly two report files required \
+             (usage: bench-report diff BASELINE CURRENT [--max-regress-pct N] [--json])"
+            .into());
+    };
+    let pct: u64 = flag_value(args, "--max-regress-pct")
+        .map(|v| v.parse().map_err(|e| format!("bad --max-regress-pct: {e}")))
+        .transpose()?
+        .unwrap_or(DEFAULT_MAX_REGRESS_PCT);
+    let base_text =
+        std::fs::read_to_string(baseline).map_err(|e| format!("cannot read {baseline}: {e}"))?;
+    let cur_text =
+        std::fs::read_to_string(current).map_err(|e| format!("cannot read {current}: {e}"))?;
+    let diff = diff_reports(&base_text, &cur_text, pct)?;
+    if has_flag(args, "--json") {
+        print!("{}", diff.verdict_json());
+    } else {
+        print!("{}", diff.table());
+    }
+    if diff.ok() {
+        Ok(())
+    } else {
+        let names: Vec<String> = diff
+            .regressions()
+            .iter()
+            .map(|j| format!("{}/{}", j.benchmark, j.flow))
+            .collect();
+        Err(format!(
+            "performance regression in {} job(s): {}",
+            names.len(),
+            names.join(", ")
+        ))
+    }
+}
+
 /// Long-running batch service: one job request per stdin line, one
 /// `done`/`err` response line per request on stdout.
 ///
@@ -706,8 +865,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let workers = jobs_flag(args)?;
     let store = store_flag(args)?
         .unwrap_or_else(|| std::sync::Arc::new(sfq_t1::engine::ResultCache::new()));
-    let runner = SuiteRunner::new(workers).with_store(store);
+    let runner = SuiteRunner::new(workers).with_store(store.clone());
     let lib = CellLibrary::default();
+    // The session-long recorder backs the `stats` control line and the
+    // per-job memory fields of `done` lines. Span events are discarded
+    // after every flush (only the cumulative counters and histograms
+    // are kept), so recorder memory stays bounded over a long session.
+    sfq_t1::obs::enable();
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
@@ -733,7 +897,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             let s = o.stats;
             let line = format!(
                 "done {index} {} source={} micros={} dffs={} splitters={} area={} depth={} \
-                 gates={} t1={}/{}",
+                 gates={} t1={}/{} alloc_bytes={} peak_bytes={}",
                 o.job.label(),
                 o.source.serve_label(),
                 o.duration.as_micros(),
@@ -743,13 +907,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 s.depth_cycles,
                 s.gates,
                 s.t1_used,
-                s.t1_found
+                s.t1_found,
+                o.alloc_bytes,
+                o.peak_bytes
             );
             if let Err(e) = respond(line) {
                 failure.get_or_insert(e);
             }
         });
         batch.clear();
+        sfq_t1::obs::discard_events();
         match failure {
             Some(e) => Err(format!("serve: cannot write response: {e}")),
             None => Ok(()),
@@ -766,6 +933,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             flush(&mut batch)?;
             continue;
         }
+        if trimmed == "stats" {
+            // Immediate flushed snapshot — no batch flush required, so a
+            // monitoring client can poll mid-stream.
+            respond(serve_stats_line(&store))?;
+            continue;
+        }
         let index = next_index;
         next_index += 1;
         match parse_serve_request(trimmed, &lib) {
@@ -774,6 +947,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         }
     }
     flush(&mut batch)
+}
+
+/// One-line counters/histogram snapshot for the serve `stats` control
+/// line: session-lifetime cache counters, live/peak process memory and
+/// compute-latency percentiles.
+fn serve_stats_line(store: &sfq_t1::engine::ResultCache) -> String {
+    let s = store.stats();
+    let mem = sfq_t1::obs::alloc::stats();
+    let (p50, p99) = match sfq_t1::obs::histogram("engine:compute") {
+        Some(h) => (h.percentile(50), h.percentile(99)),
+        None => (0, 0),
+    };
+    format!(
+        "stats memory_hits={} disk_hits={} misses={} live_bytes={} peak_bytes={} \
+         p50_compute_us={p50} p99_compute_us={p99}",
+        s.memory_hits, s.disk_hits, s.misses, mem.live, mem.peak
+    )
 }
 
 /// Parses one `serve` request line into a [`Job`] (see [`cmd_serve`]).

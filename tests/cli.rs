@@ -575,7 +575,12 @@ fn bench_report_emit_and_check_roundtrip() {
         doc.get("schema").and_then(|v| v.as_str()),
         Some("sfq-t1/bench-report")
     );
-    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(doc.get("schema_version").and_then(|v| v.as_u64()), Some(2));
+    // v2 reports carry the memory block and latency histograms.
+    assert!(doc.get("memory").is_some(), "memory block: {text}");
+    assert!(doc.get("histograms").is_some(), "histograms: {text}");
+    assert!(text.contains("\"alloc_bytes\""), "{text}");
+    assert!(text.contains("\"peak_bytes\""), "{text}");
 
     let out = bin()
         .args(["bench-report", "--check", json.to_str().unwrap()])
@@ -597,6 +602,210 @@ fn bench_report_emit_and_check_roundtrip() {
         .expect("run bench-report --check bogus");
     assert!(!out.status.success(), "bogus report must fail --check");
     for f in [&json, &bogus] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn bench_report_diff_self_clean_and_injected_slowdown_fails() {
+    // The regression sentinel end-to-end: a report diffed against itself
+    // exits zero; doubling one job's wall time makes the diff exit
+    // nonzero and name exactly that job.
+    let base = tmp("diff_base.json");
+    let out = bin()
+        .args(["bench-report", "--small", "-o", base.to_str().unwrap()])
+        .output()
+        .expect("run bench-report");
+    assert!(
+        out.status.success(),
+        "bench-report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args([
+            "bench-report",
+            "diff",
+            base.to_str().unwrap(),
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run self-diff");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "self-diff must exit zero: {stdout}");
+    assert!(stdout.contains("OK: no regressions"), "{stdout}");
+
+    // Inject a 10x slowdown into exactly one job (adder/T1). Entries are
+    // emitted one per line, so the edit can be scoped to that line.
+    let text = std::fs::read_to_string(&base).expect("report written");
+    let slowed: String = text
+        .lines()
+        .map(|l| {
+            if l.contains("\"benchmark\": \"adder\"") && l.contains("\"flow\": \"T1\"") {
+                let start = l.find("\"micros\": ").expect("micros field") + "\"micros\": ".len();
+                let end = start + l[start..].find(',').expect("comma after micros");
+                let micros: u64 = l[start..end].trim().parse().expect("micros value");
+                format!("{}{}{}", &l[..start], micros * 10, &l[end..])
+            } else {
+                l.to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let cur = tmp("diff_slow.json");
+    std::fs::write(&cur, slowed).expect("write slowed report");
+
+    let out = bin()
+        .args([
+            "bench-report",
+            "diff",
+            base.to_str().unwrap(),
+            cur.to_str().unwrap(),
+            "--json",
+        ])
+        .output()
+        .expect("run slowdown diff");
+    assert!(!out.status.success(), "regression must exit nonzero");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("adder/T1"), "names the job: {stderr}");
+    let doc = sfq_t1::obs::json::parse(&stdout).expect("verdict is valid JSON");
+    assert_eq!(doc.get("ok").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(doc.get("regressed").and_then(|v| v.as_u64()), Some(1));
+    // A generous allowance lets the same pair pass.
+    let out = bin()
+        .args([
+            "bench-report",
+            "diff",
+            base.to_str().unwrap(),
+            cur.to_str().unwrap(),
+            "--max-regress-pct",
+            "10000",
+        ])
+        .output()
+        .expect("run lenient diff");
+    assert!(
+        out.status.success(),
+        "lenient diff must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for f in [&base, &cur] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn serve_stats_line_snapshots_counters_and_done_lines_carry_alloc() {
+    use std::io::Write;
+    let mut child = bin()
+        .args(["serve"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"adder:4 1phi\n---\nstats\nadder:4 1phi\n---\nstats\n")
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stats: Vec<&str> = stdout.lines().filter(|l| l.starts_with("stats ")).collect();
+    assert_eq!(stats.len(), 2, "one snapshot per stats line: {stdout}");
+    for l in &stats {
+        for field in [
+            "memory_hits=",
+            "disk_hits=",
+            "misses=",
+            "live_bytes=",
+            "peak_bytes=",
+            "p50_compute_us=",
+            "p99_compute_us=",
+        ] {
+            assert!(l.contains(field), "stats line carries {field}: {l}");
+        }
+    }
+    // The second snapshot has seen both jobs (same job resubmitted, so
+    // one miss plus one memory hit).
+    assert!(stats[0].contains("misses=1"), "{}", stats[0]);
+    assert!(stats[1].contains("memory_hits=1"), "{}", stats[1]);
+    // Result lines now report per-job allocation.
+    for l in stdout.lines().filter(|l| l.starts_with("done ")) {
+        assert!(l.contains(" alloc_bytes="), "{l}");
+        assert!(l.contains(" peak_bytes="), "{l}");
+    }
+}
+
+#[test]
+fn opt_and_sta_emit_trace_and_bench_json() {
+    // The single-tool subcommands share the suite's observability flags:
+    // `--trace` writes Chrome JSON, `--bench-json` a valid v2 report.
+    let trace = tmp("opt_trace.json");
+    let opt_json = tmp("opt_bench.json");
+    let sta_json = tmp("sta_bench.json");
+    let out = bin()
+        .args([
+            "opt",
+            "adder",
+            "8",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--bench-json",
+            opt_json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run opt");
+    assert!(
+        out.status.success(),
+        "opt failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&trace).expect("trace written");
+    let doc = sfq_t1::obs::json::parse(&text).expect("trace is valid JSON");
+    assert!(doc.get("traceEvents").and_then(|v| v.as_arr()).is_some());
+
+    let out = bin()
+        .args([
+            "sta",
+            "adder",
+            "8",
+            "--bench-json",
+            sta_json.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run sta");
+    assert!(
+        out.status.success(),
+        "sta failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    for report in [&opt_json, &sta_json] {
+        let out = bin()
+            .args(["bench-report", "--check", report.to_str().unwrap()])
+            .output()
+            .expect("run --check");
+        assert!(
+            out.status.success(),
+            "{} must validate: {}",
+            report.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(report).expect("report written");
+        let doc = sfq_t1::obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_u64()),
+            Some(2),
+            "{text}"
+        );
+    }
+    for f in [&trace, &opt_json, &sta_json] {
         let _ = std::fs::remove_file(f);
     }
 }
