@@ -9,7 +9,9 @@
 //! - [`epfl`] — `adder`, `multiplier`, `square`, `sin`, `log2`, `voter`,
 //! - [`iscas`] — `c6288_like` (16×16 array multiplier), `c7552_like`
 //!   (adder/comparator/parity ALU slice),
-//! - [`random`] — seeded random AIGs for property tests.
+//! - [`random`] — seeded random AIGs for property tests,
+//! - [`named`] — the name-addressed registry the CLI and the explore
+//!   sweep spec resolve benchmarks through.
 //!
 //! # Example
 //!
@@ -24,6 +26,7 @@
 pub mod arith;
 pub mod epfl;
 pub mod iscas;
+pub mod named;
 pub mod random;
 
 pub use random::{random_aig, RandomAigConfig};

@@ -76,4 +76,4 @@ pub mod store;
 pub use cache::{CacheStats, HitSource, ResultCache};
 pub use job::{CacheKey, Job};
 pub use pool::{default_workers, JobOutcome, SuiteReport, SuiteRunner};
-pub use store::{DiskStore, ResultStore, StoreStats};
+pub use store::{DiskStore, GcSummary, ResultStore, StoreStats};

@@ -1,7 +1,7 @@
 //! Fixed-size worker pool and suite orchestration.
 
 use crate::cache::{CacheStats, HitSource, ResultCache};
-use crate::job::Job;
+use crate::job::{CacheKey, Job};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -30,6 +30,10 @@ pub struct JobOutcome<'a> {
     pub completed: usize,
     /// Total number of submitted jobs.
     pub total: usize,
+    /// The job's content address, as computed by the worker — streaming
+    /// consumers (e.g. the `sfq-explore` sweep runner) group deduplicated
+    /// submissions by this key without re-hashing the AIG.
+    pub key: CacheKey,
     /// Which tier served the result (or [`HitSource::Computed`] if the
     /// flow ran).
     pub source: HitSource,
@@ -90,6 +94,7 @@ pub struct SuiteRunner {
 struct WorkerEvent {
     index: usize,
     result: Arc<FlowResult>,
+    key: CacheKey,
     source: HitSource,
     duration: Duration,
     elapsed: Duration,
@@ -174,9 +179,10 @@ impl SuiteRunner {
                     }
                     let t0 = Instant::now();
                     let alloc0 = sfq_obs::alloc::thread_allocated();
+                    let key = job.key();
                     let (result, source) = {
                         let _span = sfq_obs::span_labeled("engine:job", || job.label());
-                        cache.get_or_compute(job.key(), || {
+                        cache.get_or_compute(key, || {
                             let _span = sfq_obs::span_labeled("engine:compute", || job.label());
                             run_flow(&job.aig, &job.lib, &job.config)
                         })
@@ -186,6 +192,7 @@ impl SuiteRunner {
                     let _ = tx.send(WorkerEvent {
                         index,
                         result,
+                        key,
                         source,
                         duration: t0.elapsed(),
                         elapsed: start.elapsed(),
@@ -202,6 +209,7 @@ impl SuiteRunner {
                     index: event.index,
                     completed: done + 1,
                     total,
+                    key: event.key,
                     source: event.source,
                     duration: event.duration,
                     elapsed: event.elapsed,
@@ -257,6 +265,7 @@ mod tests {
         let report = SuiteRunner::new(2).run_with_progress(&jobs, |o| {
             assert_eq!(o.total, 3);
             assert_eq!(o.completed, seen.len() + 1);
+            assert_eq!(o.key, jobs[o.index].key(), "outcomes carry their address");
             seen.push(o.index);
         });
         seen.sort_unstable();

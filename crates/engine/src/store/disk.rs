@@ -26,6 +26,21 @@ use t1map::flow::FlowResult;
 /// Extension of entry files inside the version directory.
 const ENTRY_EXT: &str = "sfqr";
 
+/// What a [`DiskStore::gc_with_budget`] pass did and left behind — the
+/// eviction summary the `sfq-t1 store gc` CLI verb prints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcSummary {
+    /// Entries removed (stale-format debris plus evictions).
+    pub removed: usize,
+    /// Bytes freed by removing current-format entries (stale-format
+    /// debris is swept wholesale and not byte-counted).
+    pub removed_bytes: u64,
+    /// Current-format entries remaining after the pass.
+    pub remaining: usize,
+    /// Bytes of current-format entries remaining after the pass.
+    pub remaining_bytes: u64,
+}
+
 /// Persistent result store rooted at a user-supplied cache directory.
 #[derive(Debug)]
 pub struct DiskStore {
@@ -73,6 +88,84 @@ impl DiskStore {
     fn entry_path(&self, key: CacheKey) -> PathBuf {
         self.root
             .join(format!("{:016x}-{:016x}.{ENTRY_EXT}", key.aig, key.setup))
+    }
+
+    /// [`ResultStore::gc`] with an additional size budget: after keeping
+    /// at most `keep_newest` entries, keeps evicting oldest-first until
+    /// the remaining entries total at most `max_bytes` (when given).
+    /// Stale-format version directories are swept wholesale either way.
+    ///
+    /// Eviction order is oldest-modified-first in both phases, so a point
+    /// that survives the count cap can still fall to the byte cap, never
+    /// the other way around.
+    pub fn gc_with_budget(&self, keep_newest: usize, max_bytes: Option<u64>) -> GcSummary {
+        let mut summary = GcSummary::default();
+
+        // Sweep stale-format version directories wholesale.
+        if let Ok(rd) = fs::read_dir(&self.dir) {
+            for entry in rd.flatten() {
+                let path = entry.path();
+                if !path.is_dir() || path == self.root {
+                    continue;
+                }
+                let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                    continue;
+                };
+                let Some(version) = name.strip_prefix('v') else {
+                    continue;
+                };
+                if version.parse::<u32>().is_err() {
+                    continue;
+                }
+                if let Ok(stale) = fs::read_dir(&path) {
+                    summary.removed += stale
+                        .flatten()
+                        .filter(|e| {
+                            e.path().extension().and_then(|x| x.to_str()) == Some(ENTRY_EXT)
+                        })
+                        .count();
+                }
+                let _ = fs::remove_dir_all(&path);
+            }
+        }
+
+        // Oldest-first queue of current-format entries with their sizes.
+        let mut entries: Vec<(std::time::SystemTime, u64, PathBuf)> = self
+            .entries()
+            .into_iter()
+            .map(|p| {
+                let meta = fs::metadata(&p).ok();
+                let mtime = meta
+                    .as_ref()
+                    .and_then(|m| m.modified().ok())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                let len = meta.map(|m| m.len()).unwrap_or(0);
+                (mtime, len, p)
+            })
+            .collect();
+        entries.sort_by(|a, b| (a.0, &a.2).cmp(&(b.0, &b.2)));
+        let mut total_bytes: u64 = entries.iter().map(|(_, len, _)| *len).sum();
+
+        let mut cursor = 0usize;
+        let over_budget = |remaining: usize, bytes: u64| {
+            remaining > keep_newest || max_bytes.is_some_and(|cap| bytes > cap)
+        };
+        while cursor < entries.len() && over_budget(entries.len() - cursor, total_bytes) {
+            let (_, len, path) = &entries[cursor];
+            if fs::remove_file(path).is_ok() {
+                summary.removed += 1;
+                summary.removed_bytes += len;
+            }
+            total_bytes -= len;
+            cursor += 1;
+        }
+        summary.remaining = entries.len() - cursor;
+        summary.remaining_bytes = total_bytes;
+
+        self.evicted
+            .fetch_add(summary.removed as u64, Ordering::Relaxed);
+        sfq_obs::counter("store.disk.gc_evicted", summary.removed as u64);
+        summary
     }
 
     /// Current-format entry files, ignoring temp files and debris.
@@ -158,59 +251,6 @@ impl ResultStore for DiskStore {
     }
 
     fn gc(&self, keep_newest: usize) -> usize {
-        let mut removed = 0usize;
-
-        // Sweep stale-format version directories wholesale.
-        if let Ok(rd) = fs::read_dir(&self.dir) {
-            for entry in rd.flatten() {
-                let path = entry.path();
-                if !path.is_dir() || path == self.root {
-                    continue;
-                }
-                let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-                    continue;
-                };
-                let Some(version) = name.strip_prefix('v') else {
-                    continue;
-                };
-                if version.parse::<u32>().is_err() {
-                    continue;
-                }
-                if let Ok(stale) = fs::read_dir(&path) {
-                    removed += stale
-                        .flatten()
-                        .filter(|e| {
-                            e.path().extension().and_then(|x| x.to_str()) == Some(ENTRY_EXT)
-                        })
-                        .count();
-                }
-                let _ = fs::remove_dir_all(&path);
-            }
-        }
-
-        // Evict oldest current-format entries beyond the cap.
-        let mut entries: Vec<(std::time::SystemTime, PathBuf)> = self
-            .entries()
-            .into_iter()
-            .map(|p| {
-                let mtime = fs::metadata(&p)
-                    .and_then(|m| m.modified())
-                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                (mtime, p)
-            })
-            .collect();
-        if entries.len() > keep_newest {
-            entries.sort_by_key(|(mtime, _)| *mtime);
-            let excess = entries.len() - keep_newest;
-            for (_, path) in entries.into_iter().take(excess) {
-                if fs::remove_file(&path).is_ok() {
-                    removed += 1;
-                }
-            }
-        }
-
-        self.evicted.fetch_add(removed as u64, Ordering::Relaxed);
-        sfq_obs::counter("store.disk.gc_evicted", removed as u64);
-        removed
+        self.gc_with_budget(keep_newest, None).removed
     }
 }

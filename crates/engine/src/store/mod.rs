@@ -25,7 +25,7 @@
 pub mod codec;
 pub mod disk;
 
-pub use disk::DiskStore;
+pub use disk::{DiskStore, GcSummary};
 
 use crate::job::CacheKey;
 use std::sync::Arc;

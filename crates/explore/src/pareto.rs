@@ -1,0 +1,117 @@
+//! Multi-objective non-domination analysis.
+//!
+//! All objectives are *minimized* and compared as exact integers — no
+//! floating-point scalarization, no weights, no tolerance knobs. Point
+//! `a` **dominates** point `b` when `a` is no worse than `b` in every
+//! objective and strictly better in at least one; the **frontier** is
+//! the set of points dominated by nobody. Two points with *identical*
+//! objective vectors do not dominate each other, so ties survive
+//! together — which is what makes frontier membership a pure function
+//! of the multiset of vectors, invariant under input permutation (the
+//! property the `pareto_prop` suite checks).
+//!
+//! Every pruned point carries a *witness*: a frontier point that
+//! dominates it, chosen deterministically (lexicographically smallest
+//! objective vector, then smallest index), so reports can answer "why
+//! is this configuration not on the frontier?" with a concrete better
+//! configuration instead of a bare boolean.
+
+/// Whether `a` dominates `b`: `a[i] <= b[i]` for all objectives and
+/// `a[i] < b[i]` for at least one. Both slices must have equal length.
+pub fn dominates(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "objective vectors must align");
+    a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+}
+
+/// The result of a non-domination pass over one group of points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frontier {
+    /// Whether each input point is on the Pareto frontier.
+    pub on_frontier: Vec<bool>,
+    /// For each pruned point, the index of its witness — a frontier
+    /// point that dominates it. `None` exactly for frontier points.
+    pub dominated_by: Vec<Option<usize>>,
+}
+
+impl Frontier {
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.on_frontier.iter().filter(|f| **f).count()
+    }
+
+    /// Whether the frontier is empty (only for zero input points).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Computes the Pareto frontier of `vectors` (one objective vector per
+/// point, all minimized). Quadratic in the number of points, which is
+/// exact and more than fast enough for sweep-sized inputs.
+pub fn frontier(vectors: &[Vec<u64>]) -> Frontier {
+    let n = vectors.len();
+    let on_frontier: Vec<bool> = (0..n)
+        .map(|i| !vectors.iter().any(|other| dominates(other, &vectors[i])))
+        .collect();
+    let dominated_by: Vec<Option<usize>> = (0..n)
+        .map(|i| {
+            if on_frontier[i] {
+                return None;
+            }
+            // Deterministic witness: among frontier dominators, the one
+            // with the lexicographically smallest vector (then index).
+            (0..n)
+                .filter(|&j| on_frontier[j] && dominates(&vectors[j], &vectors[i]))
+                .min_by(|&a, &b| vectors[a].cmp(&vectors[b]).then(a.cmp(&b)))
+        })
+        .collect();
+    Frontier {
+        on_frontier,
+        dominated_by,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domination_is_strict_somewhere() {
+        assert!(dominates(&[1, 2], &[1, 3]));
+        assert!(dominates(&[0, 0], &[5, 5]));
+        assert!(
+            !dominates(&[1, 2], &[1, 2]),
+            "equal vectors do not dominate"
+        );
+        assert!(!dominates(&[1, 3], &[2, 2]), "trade-offs do not dominate");
+    }
+
+    #[test]
+    fn frontier_keeps_trade_offs_and_ties() {
+        // (gates, depth): two trade-off points, one duplicate, one loser.
+        let f = frontier(&[
+            vec![10, 2],
+            vec![5, 4],
+            vec![10, 2], // tie with point 0: both survive
+            vec![11, 5], // dominated by everything
+        ]);
+        assert_eq!(f.on_frontier, [true, true, true, false]);
+        assert_eq!(f.len(), 3);
+        // Witness has the lexicographically smallest dominating vector.
+        assert_eq!(f.dominated_by, [None, None, None, Some(1)]);
+    }
+
+    #[test]
+    fn single_point_is_its_own_frontier() {
+        let f = frontier(&[vec![7, 7, 7]]);
+        assert_eq!(f.on_frontier, [true]);
+        assert_eq!(f.dominated_by, [None]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_frontier() {
+        let f = frontier(&[]);
+        assert!(f.is_empty());
+        assert!(f.on_frontier.is_empty());
+    }
+}

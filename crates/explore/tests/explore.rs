@@ -1,0 +1,102 @@
+//! End-to-end sweep tests: fingerprint deduplication is reflected in
+//! progress totals, a warm disk-backed rerun performs zero flow
+//! computations, and cold/warm reports are byte-identical modulo the
+//! provenance fields.
+
+use sfq_engine::{DiskStore, ResultCache, SuiteRunner};
+use sfq_explore::report::{explore_report_json, strip_provenance, validate};
+use sfq_explore::spec;
+use sfq_explore::sweep::run_sweep;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sfq-explore-{name}-{}", std::process::id()))
+}
+
+/// 12 grid points over 10 unique jobs: the 1phi flow ignores the phases
+/// axis, so its points collapse pairwise.
+const SPEC: &str = "sweep warmtest\nbenchmarks adder:6\nflows 1phi nphi t1\n\
+                    phases 3 4\nopt none dff-opt\n";
+
+#[test]
+fn deduplicated_jobs_are_counted_once_in_progress_totals() {
+    let s = spec::parse(SPEC).unwrap();
+    let mut events = 0usize;
+    let mut total = 0usize;
+    let run = run_sweep(s, &SuiteRunner::new(2), |o| {
+        events += 1;
+        total = o.total;
+    })
+    .unwrap();
+    assert_eq!(run.points.len(), 12);
+    assert_eq!(run.jobs.len(), 10, "1phi collapses across the phases axis");
+    assert_eq!(events, 10, "one progress event per unique job");
+    assert_eq!(total, 10, "progress totals count unique jobs, not points");
+    assert_eq!(run.cache().misses, 10, "each unique job computes once");
+    // Collapsed points share their job's result and provenance.
+    let one_phi: Vec<usize> = (0..run.points.len())
+        .filter(|&i| run.points[i].opt == "none" && run.points[i].flow.token() == "1phi")
+        .collect();
+    assert_eq!(one_phi.len(), 2);
+    assert_eq!(run.points[one_phi[0]].job, run.points[one_phi[1]].job);
+    assert_eq!(run.stats[one_phi[0]], run.stats[one_phi[1]]);
+}
+
+#[test]
+fn warm_rerun_recomputes_nothing_and_reports_identically() {
+    let dir = tmp("warm");
+    let _ = std::fs::remove_dir_all(&dir);
+    let open = || {
+        Arc::new(ResultCache::with_backing(Arc::new(
+            DiskStore::open(&dir).expect("store opens"),
+        )))
+    };
+
+    let cold = run_sweep(
+        spec::parse(SPEC).unwrap(),
+        &SuiteRunner::new(2).with_store(open()),
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(
+        cold.cache().misses,
+        10,
+        "cold run computes every unique job"
+    );
+
+    // Fresh memory tier over the same disk store: the rerun must be
+    // served entirely from disk — zero flow computations.
+    let warm = run_sweep(
+        spec::parse(SPEC).unwrap(),
+        &SuiteRunner::new(2).with_store(open()),
+        |_| {},
+    )
+    .unwrap();
+    assert_eq!(
+        warm.cache().misses,
+        0,
+        "warm rerun performs zero flow computations"
+    );
+    assert_eq!(warm.cache().disk_hits, 10);
+    assert!(
+        warm.sources.iter().all(|s| *s == "disk"),
+        "{:?}",
+        warm.sources
+    );
+
+    let cold_text = explore_report_json(&cold);
+    let warm_text = explore_report_json(&warm);
+    validate(&cold_text).expect("cold report validates");
+    validate(&warm_text).expect("warm report validates");
+    assert_ne!(
+        cold_text, warm_text,
+        "provenance fields differ cold vs warm"
+    );
+    assert_eq!(
+        strip_provenance(&cold_text),
+        strip_provenance(&warm_text),
+        "reports are byte-identical modulo source-tier fields"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,90 @@
+//! Property tests of [`sfq_explore::pareto`]: every frontier point is
+//! non-dominated, every pruned point carries a frontier witness that
+//! actually dominates it, and frontier membership (plus the witness's
+//! objective vector) is invariant under permutation of the input.
+
+use proptest::prelude::*;
+use sfq_explore::pareto::{dominates, frontier};
+
+/// Three-objective vectors over a small value range, so domination and
+/// exact ties are both common.
+fn vectors(points: &[(u64, u64, u64)]) -> Vec<Vec<u64>> {
+    points.iter().map(|&(a, b, c)| vec![a, b, c]).collect()
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` from `seed`.
+fn permutation(n: usize, mut seed: u64) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        perm.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    perm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn frontier_points_are_non_dominated(
+        points in prop::collection::vec((0u64..8, 0u64..8, 0u64..8), 1..40),
+    ) {
+        let vectors = vectors(&points);
+        let f = frontier(&vectors);
+        prop_assert!(!f.is_empty(), "a non-empty input has a non-empty frontier");
+        for i in 0..vectors.len() {
+            if f.on_frontier[i] {
+                prop_assert!(
+                    vectors.iter().all(|other| !dominates(other, &vectors[i])),
+                    "frontier point {i} is dominated"
+                );
+                prop_assert!(f.dominated_by[i].is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_points_have_dominating_frontier_witnesses(
+        points in prop::collection::vec((0u64..8, 0u64..8, 0u64..8), 1..40),
+    ) {
+        let vectors = vectors(&points);
+        let f = frontier(&vectors);
+        for i in 0..vectors.len() {
+            if !f.on_frontier[i] {
+                let w = f.dominated_by[i];
+                prop_assert!(w.is_some(), "pruned point {i} has no witness");
+                let w = w.unwrap();
+                prop_assert!(f.on_frontier[w], "witness {w} is not on the frontier");
+                prop_assert!(
+                    dominates(&vectors[w], &vectors[i]),
+                    "witness {w} does not dominate {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn membership_is_permutation_invariant(
+        points in prop::collection::vec((0u64..8, 0u64..8, 0u64..8), 1..40),
+        seed in any::<u64>(),
+    ) {
+        let vectors = vectors(&points);
+        let f = frontier(&vectors);
+        let perm = permutation(vectors.len(), seed | 1);
+        let permuted: Vec<Vec<u64>> = perm.iter().map(|&i| vectors[i].clone()).collect();
+        let g = frontier(&permuted);
+        for (new_pos, &old_pos) in perm.iter().enumerate() {
+            prop_assert_eq!(
+                g.on_frontier[new_pos], f.on_frontier[old_pos],
+                "membership of point {} changed under permutation", old_pos
+            );
+            // The witness index may differ, but the witness's objective
+            // vector is determined by the multiset of points alone.
+            let before = f.dominated_by[old_pos].map(|w| vectors[w].clone());
+            let after = g.dominated_by[new_pos].map(|w| permuted[w].clone());
+            prop_assert_eq!(before, after);
+        }
+    }
+}

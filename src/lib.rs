@@ -16,6 +16,7 @@
 //! | [`engine`] | parallel batch-flow execution with content-addressed result caching |
 //! | [`obs`] | opt-in tracing & metrics: spans, counters, Chrome-trace and summary sinks |
 //! | [`mod@bench`] | paper benchmark suites, engine job lists, progress helper |
+//! | [`explore`] | design-space sweeps: spec expansion, Pareto frontiers, explore reports |
 //!
 //! This facade crate re-exports everything and hosts the runnable examples
 //! and cross-crate integration tests.
@@ -37,6 +38,7 @@
 pub use sfq_bench as bench;
 pub use sfq_circuits as circuits;
 pub use sfq_engine as engine;
+pub use sfq_explore as explore;
 pub use sfq_netlist as netlist;
 pub use sfq_obs as obs;
 pub use sfq_opt as opt;

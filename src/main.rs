@@ -8,6 +8,8 @@
 //! sfq-t1 sta <benchmark|in.aag> [width] [opts]   static timing & slack analysis (sfq-sta)
 //! sfq-t1 suite [options]                         Table-I suite through sfq-engine
 //! sfq-t1 serve [options]                         batch flow service on stdin/stdout
+//! sfq-t1 explore SPEC [options]                  design-space sweep + Pareto frontier
+//! sfq-t1 store gc DIR --keep-newest N [opts]     evict old persistent-store entries
 //! sfq-t1 bench-report [options]                  emit/validate BENCH_*.json perf reports
 //! sfq-t1 bench-report diff BASE CUR [opts]       regression-diff two BENCH_*.json reports
 //!
@@ -20,12 +22,12 @@
 //!   --dot FILE       write a Graphviz visualization of the scheduled netlist
 //!   --waves K        number of verification waves (verify; default 8)
 //!   --small          suite: CI-scale benchmark widths
-//!   --jobs N         suite/serve: engine worker threads (default: available parallelism)
-//!   --csv FILE       suite: write the table as CSV
-//!   --cache-dir DIR  suite/serve: persistent result store (second runs hit it)
+//!   --jobs N         suite/serve/explore: engine worker threads (default: available parallelism)
+//!   --csv FILE       suite/explore: write the table as CSV
+//!   --cache-dir DIR  suite/serve/explore: persistent result store (second runs hit it)
 //!   --stats          suite: span rollups + store counters after the table
-//!   --trace FILE     suite/opt/sta: Chrome-trace JSON of the run (chrome://tracing)
-//!   --bench-json F   suite/opt/sta: schema-versioned BENCH_*.json perf report
+//!   --trace FILE     suite/opt/sta/explore: Chrome-trace JSON of the run (chrome://tracing)
+//!   --bench-json F   suite/opt/sta/explore: schema-versioned BENCH_*.json perf report
 //!
 //! bench-report runs the Table-I suite and writes the perf-trajectory
 //! report (default BENCH_table1.json; -o FILE overrides). It accepts the
@@ -38,8 +40,22 @@
 //! `--max-regress-pct N` (default 25). `--json` emits the machine
 //! verdict instead of the table. Exits nonzero iff a job regressed.
 //!
+//! explore reads a sweep spec (axes: benchmarks, flows, phases, opt
+//! pipelines, timing, cell-library variants; see `sfq_explore::spec`),
+//! expands the cross product with fingerprint-deduplicated engine jobs,
+//! runs it through the suite engine (honoring `--jobs`, `--cache-dir`,
+//! `--trace`, `--bench-json`, `--csv`), prints the per-benchmark Pareto
+//! frontier table and writes the schema-versioned `EXPLORE_*.json`
+//! report (default `EXPLORE_<sweep>.json`; `-o FILE` overrides). With a
+//! warm `--cache-dir` the rerun recomputes nothing (`0 flow runs`).
+//!
+//! store gc expires entries of a persistent `--cache-dir` result store:
+//! keeps the `--keep-newest N` most recent entries, then keeps evicting
+//! oldest-first while the store exceeds `--max-bytes B` (if given), and
+//! always sweeps stale-format debris. Prints an eviction summary.
+//!
 //! serve reads one job request per stdin line
-//! (`<benchmark>[:width] <1phi|nphi|t1> [phases] [pre-opt|slack-opt|dff-opt] [timing]`,
+//! (`<benchmark>[:width] <1phi|nphi|t1> [phases] [pre-opt|slack-opt|dff-opt|timing|...]`,
 //! `#` comments, `---` flushes the batch early) and streams one
 //! `done <idx> ...` or `err <idx> ...` line per request to stdout. A
 //! `stats` line responds immediately with a one-line flushed snapshot of
@@ -76,8 +92,8 @@ use sfq_t1::bench::{
     table1_jobs_with, table_one, tool_report_json, trace_flag, validate_bench_report,
     BenchmarkScale, JobSample, ReportEntry, ReportMeta, DEFAULT_MAX_REGRESS_PCT,
 };
-use sfq_t1::circuits::{epfl, iscas};
-use sfq_t1::engine::{Job, SuiteRunner};
+use sfq_t1::engine::{DiskStore, Job, SuiteRunner};
+use sfq_t1::explore::{explore_report_json, explore_summary, frontier_table};
 use sfq_t1::netlist::aiger;
 use sfq_t1::netlist::Aig;
 use sfq_t1::opt::{
@@ -106,7 +122,8 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: sfq-t1 <gen|map|verify|opt|sta|suite|serve|bench-report> ... (see --help in README)"
+    "usage: sfq-t1 <gen|map|verify|opt|sta|suite|serve|explore|store|bench-report> ... \
+     (see --help in README)"
         .to_string()
 }
 
@@ -119,6 +136,8 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("sta") => cmd_sta(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("explore") => cmd_explore(&args[1..]),
+        Some("store") => cmd_store(&args[1..]),
         Some("bench-report") => cmd_bench_report(&args[1..]),
         Some("--help" | "-h") | None => {
             println!("{}", usage());
@@ -153,59 +172,26 @@ fn load_aig(path: &str) -> Result<Aig, String> {
     }
 }
 
-/// Benchmark names `gen` and `opt` accept, with their default widths.
-const KNOWN_BENCHMARKS: [(&str, usize); 8] = [
-    ("adder", 128),
-    ("multiplier", 32),
-    ("square", 32),
-    ("sin", 16),
-    ("log2", 32),
-    ("voter", 255),
-    ("c6288", 0),
-    ("c7552", 0),
-];
-
 /// Builds the named benchmark at `width` (0 = the benchmark's default).
 ///
-/// Unknown names are a hard error listing every known benchmark, so a typo
-/// can never silently fall through to another circuit.
+/// Delegates to the [`sfq_t1::circuits::named`] registry — the same one
+/// the `serve` parser and the explore sweep spec resolve through — so
+/// every interface agrees on the legal names and an unknown name is a
+/// hard error listing every known benchmark.
 fn build_benchmark(name: &str, width: usize) -> Result<Aig, String> {
-    let default = KNOWN_BENCHMARKS
-        .iter()
-        .find(|(n, _)| *n == name)
-        .map(|&(_, w)| w)
-        .ok_or_else(|| {
-            let names: Vec<&str> = KNOWN_BENCHMARKS.iter().map(|&(n, _)| n).collect();
-            format!(
-                "unknown benchmark '{name}' (known benchmarks: {})",
-                names.join(", ")
-            )
-        })?;
-    let width = if width == 0 { default } else { width };
-    Ok(match name {
-        "adder" => epfl::adder(width),
-        "multiplier" => epfl::multiplier(width),
-        "square" => epfl::square(width),
-        "sin" => epfl::sin(width),
-        "log2" => epfl::log2(width),
-        "voter" => epfl::voter(width),
-        "c6288" => iscas::c6288_like(),
-        "c7552" => iscas::c7552_like(),
-        _ => unreachable!("name validated above"),
-    })
+    sfq_t1::circuits::named::build(name, width)
 }
 
 /// Resolves the `opt` subject: a known benchmark name or an AIGER file.
 fn load_subject(name: &str, width: usize) -> Result<Aig, String> {
-    if KNOWN_BENCHMARKS.iter().any(|(n, _)| *n == name) {
+    if sfq_t1::circuits::named::is_known(name) {
         build_benchmark(name, width)
     } else if std::path::Path::new(name).exists() {
         load_aig(name)
     } else {
-        let names: Vec<&str> = KNOWN_BENCHMARKS.iter().map(|&(n, _)| n).collect();
         Err(format!(
             "'{name}' is neither a known benchmark ({}) nor an existing AIGER file",
-            names.join(", ")
+            sfq_t1::circuits::named::known_names().join(", ")
         ))
     }
 }
@@ -228,9 +214,14 @@ const OPT_FLAGS: [(&str, bool); 11] = [
 ];
 
 /// Hard-errors on any `-`-prefixed argument outside `known`, listing every
-/// accepted flag **and** every pass name — the same no-silent-typo policy
-/// as unknown benchmark and pass names.
-fn reject_unknown_flags(cmd: &str, args: &[String], known: &[(&str, bool)]) -> Result<(), String> {
+/// accepted flag (plus any command-specific `notes`, e.g. `opt`'s pass
+/// names) — the same no-silent-typo policy as unknown benchmark names.
+fn reject_unknown_flags(
+    cmd: &str,
+    args: &[String],
+    known: &[(&str, bool)],
+    notes: &str,
+) -> Result<(), String> {
     let mut skip_value = false;
     for a in args {
         if skip_value {
@@ -244,11 +235,9 @@ fn reject_unknown_flags(cmd: &str, args: &[String], known: &[(&str, bool)]) -> R
             Some(&(_, takes_value)) => skip_value = takes_value,
             None => {
                 let flags: Vec<&str> = known.iter().map(|&(n, _)| n).collect();
-                let passes: Vec<&str> = PassKind::KNOWN.iter().map(|p| p.name()).collect();
                 return Err(format!(
-                    "{cmd}: unknown flag '{a}' (flags: {}; known passes: {})",
-                    flags.join(", "),
-                    passes.join(", ")
+                    "{cmd}: unknown flag '{a}' (flags: {}{notes})",
+                    flags.join(", ")
                 ));
             }
         }
@@ -259,7 +248,13 @@ fn reject_unknown_flags(cmd: &str, args: &[String], known: &[(&str, bool)]) -> R
 /// Runs the `sfq-opt` pipeline standalone: per-pass stats table, optional
 /// fixpoint iteration, optional SAT-checked equivalence, optional export.
 fn cmd_opt(args: &[String]) -> Result<(), String> {
-    reject_unknown_flags("opt", args, &OPT_FLAGS)?;
+    let passes: Vec<&str> = PassKind::KNOWN.iter().map(|p| p.name()).collect();
+    reject_unknown_flags(
+        "opt",
+        args,
+        &OPT_FLAGS,
+        &format!("; known passes: {}", passes.join(", ")),
+    )?;
     let name = args
         .first()
         .filter(|a| !a.starts_with('-'))
@@ -736,6 +731,140 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Flags the `explore` subcommand accepts (see [`reject_unknown_flags`]).
+const EXPLORE_FLAGS: [(&str, bool); 6] = [
+    ("--jobs", true),
+    ("--cache-dir", true),
+    ("--trace", true),
+    ("--bench-json", true),
+    ("--csv", true),
+    ("-o", true),
+];
+
+/// Runs a design-space sweep from a spec file: expansion with
+/// fingerprint deduplication, execution through the suite engine (with
+/// any `--cache-dir` result store), per-benchmark Pareto frontiers, and
+/// the validated `EXPLORE_*.json` report.
+fn cmd_explore(args: &[String]) -> Result<(), String> {
+    reject_unknown_flags("explore", args, &EXPLORE_FLAGS, "")?;
+    let spec_path = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("explore: sweep spec file required (see README §Design-space exploration)")?;
+    let text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = sfq_t1::explore::spec::parse(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+    let workers = jobs_flag(args)?;
+    let csv_path = csv_flag(args)?;
+    let trace_path = trace_flag(args)?;
+    let bench_json_path = bench_json_flag(args)?;
+    let store = store_flag(args)?;
+    let observing = trace_path.is_some() || bench_json_path.is_some();
+    if observing {
+        sfq_t1::obs::enable();
+    }
+
+    let mut runner = SuiteRunner::new(workers);
+    if let Some(store) = &store {
+        runner = runner.with_store(store.clone());
+    }
+    println!(
+        "explore '{}': {} benchmarks x {} flows x {} phase counts x {} opt x {} timing x \
+         {} libraries",
+        spec.name,
+        spec.benchmarks.len(),
+        spec.flows.len(),
+        spec.phases.len(),
+        spec.opts.len(),
+        spec.timing.len(),
+        spec.libraries.len()
+    );
+    let run = sfq_t1::explore::run_sweep(spec, &runner, progress_event)?;
+    sfq_t1::obs::gauge("store.disk.entries", run.cache().disk.entries as i64);
+    let trace = observing.then(sfq_t1::obs::take).unwrap_or_default();
+
+    println!();
+    print!("{}", frontier_table(&run));
+    if store.is_some() {
+        println!("{}", store_summary(&run.report));
+    }
+    println!("{}", explore_summary(&run));
+
+    let out = flag_value(args, "-o")
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("EXPLORE_{}.json", run.spec.name));
+    let report_text = explore_report_json(&run);
+    // A report that fails its own schema must never reach disk.
+    sfq_t1::explore::validate(&report_text)
+        .map_err(|e| format!("internal: emitted report invalid: {e}"))?;
+    std::fs::write(&out, report_text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("explore report written to {out}");
+
+    if let Some(path) = csv_path {
+        std::fs::write(&path, sfq_t1::explore::report::points_csv(&run))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("CSV written to {path}");
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(&path, trace.chrome_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
+    if let Some(path) = bench_json_path {
+        let meta = ReportMeta {
+            suite: "explore".to_string(),
+            scale: run.spec.name.clone(),
+            phases: run.spec.phases[0],
+            pre_opt: run.spec.opts.contains(&"pre-opt"),
+        };
+        let rows = result_rows(&run.jobs, &run.report);
+        let text = bench_report_json(&meta, &run.jobs, &rows, &run.report, &run.samples, &trace);
+        validate_bench_report(&text)
+            .map_err(|e| format!("internal: emitted report invalid: {e}"))?;
+        std::fs::write(&path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("bench report written to {path}");
+    }
+    Ok(())
+}
+
+/// Flags the `store gc` verb accepts (see [`reject_unknown_flags`]).
+const STORE_GC_FLAGS: [(&str, bool); 2] = [("--keep-newest", true), ("--max-bytes", true)];
+
+/// `store <verb>` — maintenance of persistent `--cache-dir` result
+/// stores. The only verb today is `gc`.
+fn cmd_store(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("gc") => cmd_store_gc(&args[1..]),
+        Some(other) => Err(format!("store: unknown verb '{other}' (one of: gc)")),
+        None => Err("store: verb required (one of: gc)".into()),
+    }
+}
+
+/// `store gc DIR --keep-newest N [--max-bytes B]`: evicts all but the
+/// newest `N` entries, then keeps evicting oldest-first until at most
+/// `B` bytes remain (when given); stale-format debris is always swept.
+fn cmd_store_gc(args: &[String]) -> Result<(), String> {
+    reject_unknown_flags("store gc", args, &STORE_GC_FLAGS, "")?;
+    let dir = args
+        .first()
+        .filter(|a| !a.starts_with('-'))
+        .ok_or("store gc: cache directory required (the --cache-dir of previous runs)")?;
+    let keep: usize = flag_value(args, "--keep-newest")
+        .ok_or("store gc: --keep-newest N required")?
+        .parse()
+        .map_err(|e| format!("bad --keep-newest: {e}"))?;
+    let max_bytes: Option<u64> = flag_value(args, "--max-bytes")
+        .map(|v| v.parse().map_err(|e| format!("bad --max-bytes: {e}")))
+        .transpose()?;
+    let store = DiskStore::open(dir).map_err(|e| format!("cannot open store {dir}: {e}"))?;
+    let s = store.gc_with_budget(keep, max_bytes);
+    println!(
+        "store gc: evicted {} entries ({} bytes); {} entries ({} bytes) remain in {dir}",
+        s.removed, s.removed_bytes, s.remaining, s.remaining_bytes
+    );
+    Ok(())
+}
+
 /// Emits (or, with `--check`, validates) the schema-versioned
 /// `BENCH_*.json` perf-trajectory report: the Table-I suite with tracing
 /// on, rolled up into per-benchmark wall micros, result metrics,
@@ -967,19 +1096,16 @@ fn serve_stats_line(store: &sfq_t1::engine::ResultCache) -> String {
 }
 
 /// Parses one `serve` request line into a [`Job`] (see [`cmd_serve`]).
+///
+/// Subjects resolve through the shared [`sfq_t1::circuits::named`]
+/// registry and option suffixes through the explore spec's
+/// [`sfq_t1::explore::apply_config_token`] table, so `serve` and
+/// `explore` accept the same spellings and reject unknown tokens with
+/// the same exhaustive list.
 fn parse_serve_request(line: &str, lib: &CellLibrary) -> Result<Job, String> {
     let mut fields = line.split_whitespace();
     let subject = fields.next().ok_or("benchmark required")?;
-    let (name, width) = match subject.split_once(':') {
-        Some((name, w)) => {
-            let width: usize = w
-                .parse()
-                .map_err(|_| format!("bad width '{w}' in '{subject}'"))?;
-            (name, width)
-        }
-        None => (subject, 0),
-    };
-    let aig = build_benchmark(name, width)?;
+    let (label, aig) = sfq_t1::circuits::named::build_subject(subject)?;
 
     let flow = fields
         .next()
@@ -1004,27 +1130,10 @@ fn parse_serve_request(line: &str, lib: &CellLibrary) -> Result<Job, String> {
         other => return Err(format!("unknown flow '{other}' (one of: 1phi, nphi, t1)")),
     };
     for opt in rest {
-        builder = match opt {
-            "pre-opt" => builder.standard_opt(),
-            "slack-opt" => builder.slack_opt(),
-            "dff-opt" => builder.dff_opt(),
-            "timing" => builder.timing(true),
-            other => {
-                return Err(format!(
-                    "unknown option '{other}' (one of: pre-opt, slack-opt, dff-opt, timing)"
-                ))
-            }
-        };
+        builder = sfq_t1::explore::apply_config_token(builder, opt)?;
     }
     Ok(Job::new(
-        format!(
-            "{name}{}",
-            if width > 0 {
-                format!(":{width}")
-            } else {
-                String::new()
-            }
-        ),
+        label,
         flow,
         std::sync::Arc::new(aig),
         *lib,

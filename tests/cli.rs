@@ -829,3 +829,205 @@ fn map_accepts_pre_opt_flag() {
     );
     let _ = std::fs::remove_file(&aag);
 }
+
+#[test]
+fn explore_cold_warm_cache_dir_roundtrip() {
+    // The exploration autopilot end-to-end: a cold run writes a validated
+    // EXPLORE report; a warm rerun over the same store performs zero flow
+    // computations and reproduces the report modulo provenance fields.
+    let spec = tmp("explore.sweep");
+    std::fs::write(
+        &spec,
+        "# tiny grid for the CLI test\n\
+         sweep clitest\n\
+         benchmarks adder:4\n\
+         flows 1phi t1\n\
+         phases 3 4\n",
+    )
+    .expect("write spec");
+    let dir = tmp("explore_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold_json = tmp("explore_cold.json");
+    let warm_json = tmp("explore_warm.json");
+    let mut stdouts = Vec::new();
+    for out_file in [&cold_json, &warm_json] {
+        let out = bin()
+            .args([
+                "explore",
+                spec.to_str().unwrap(),
+                "--cache-dir",
+                dir.to_str().unwrap(),
+                "-o",
+                out_file.to_str().unwrap(),
+            ])
+            .output()
+            .expect("run explore");
+        assert!(
+            out.status.success(),
+            "explore failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        stdouts.push(String::from_utf8_lossy(&out.stdout).into_owned());
+    }
+    // Cold: header, frontier table, summary with dedup-aware totals
+    // (1phi collapses across the phases axis: 4 points, 3 unique jobs).
+    assert!(stdouts[0].contains("explore 'clitest'"), "{}", stdouts[0]);
+    assert!(stdouts[0].contains("adder:4: frontier"), "{}", stdouts[0]);
+    assert!(
+        stdouts[0].contains("explore: 4 points, 3 unique jobs"),
+        "{}",
+        stdouts[0]
+    );
+    // Warm: everything from disk, zero flow computations.
+    assert!(stdouts[1].contains(" 0 flow runs"), "{}", stdouts[1]);
+    let cold = std::fs::read_to_string(&cold_json).expect("cold report written");
+    let warm = std::fs::read_to_string(&warm_json).expect("warm report written");
+    sfq_t1::explore::validate(&cold).expect("cold report validates");
+    sfq_t1::explore::validate(&warm).expect("warm report validates");
+    assert!(cold.contains("\"schema\": \"sfq-t1/explore\""), "{cold}");
+    assert_eq!(
+        sfq_t1::explore::report::strip_provenance(&cold),
+        sfq_t1::explore::report::strip_provenance(&warm),
+        "reports are byte-identical modulo source-tier fields"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    for f in [&spec, &cold_json, &warm_json] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn explore_spec_errors_name_the_line_and_legal_tokens() {
+    // A bad axis value is a hard error naming the spec file, the line,
+    // and the full legal vocabulary.
+    let spec = tmp("explore_bad.sweep");
+    std::fs::write(&spec, "benchmarks adder:4\nflows 1phi warp\n").expect("write spec");
+    let out = bin()
+        .args(["explore", spec.to_str().unwrap()])
+        .output()
+        .expect("run explore");
+    assert!(!out.status.success(), "bad spec must be an error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    assert!(stderr.contains("unknown flow 'warp'"), "{stderr}");
+    for token in ["1phi", "nphi", "t1"] {
+        assert!(
+            stderr.contains(token),
+            "error must list '{token}': {stderr}"
+        );
+    }
+    // An unknown key lists every legal key.
+    std::fs::write(&spec, "benchmarks adder:4\nfrobnicate yes\n").expect("write spec");
+    let out = bin()
+        .args(["explore", spec.to_str().unwrap()])
+        .output()
+        .expect("run explore");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown key 'frobnicate'"), "{stderr}");
+    for key in [
+        "sweep",
+        "benchmarks",
+        "flows",
+        "phases",
+        "opt",
+        "timing",
+        "library",
+        "objectives",
+    ] {
+        assert!(stderr.contains(key), "error must list '{key}': {stderr}");
+    }
+    let _ = std::fs::remove_file(&spec);
+}
+
+#[test]
+fn store_gc_subcommand_evicts_and_reports() {
+    // Populate a store, then shrink it with the gc verb.
+    let dir = tmp("gc_store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = bin()
+        .args(["suite", "--small", "--cache-dir", dir.to_str().unwrap()])
+        .output()
+        .expect("run suite");
+    assert!(
+        out.status.success(),
+        "suite failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = bin()
+        .args(["store", "gc", dir.to_str().unwrap(), "--keep-newest", "2"])
+        .output()
+        .expect("run store gc");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "store gc failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("store gc: evicted"), "{stdout}");
+    assert!(stdout.contains("2 entries"), "keeps 2 newest: {stdout}");
+    // Idempotent: a second pass has nothing left to evict.
+    let out = bin()
+        .args(["store", "gc", dir.to_str().unwrap(), "--keep-newest", "2"])
+        .output()
+        .expect("run store gc again");
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("evicted 0 entries"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    // Missing --keep-newest and unknown verbs are hard errors.
+    let out = bin()
+        .args(["store", "gc", dir.to_str().unwrap()])
+        .output()
+        .expect("run store gc bare");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--keep-newest"));
+    let out = bin().args(["store", "prune"]).output().expect("run store");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown verb 'prune'"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_shares_the_explore_config_vocabulary() {
+    use std::io::Write;
+    // Serve requests accept the explore spec's config tokens uniformly,
+    // and an unknown token's error teaches the full list — all six.
+    let mut child = bin()
+        .args(["serve"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(b"adder:4 t1 4 slack-opt no-timing\nadder:4 t1 4 warp\n")
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.lines().any(|l| l.starts_with("done 0 adder:4/t1 ")),
+        "valid config tokens serve: {stdout}"
+    );
+    let err = stdout
+        .lines()
+        .find(|l| l.starts_with("err 1 "))
+        .expect("bad token reported");
+    assert!(err.contains("unknown option 'warp'"), "{err}");
+    for token in [
+        "none",
+        "pre-opt",
+        "slack-opt",
+        "dff-opt",
+        "timing",
+        "no-timing",
+    ] {
+        assert!(err.contains(token), "error must list '{token}': {err}");
+    }
+}
