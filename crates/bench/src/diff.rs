@@ -192,14 +192,20 @@ fn compare(base: &JobMetrics, cur: &JobMetrics, pct: u64) -> (DiffStatus, Vec<St
             slower = true;
         }
     }
-    if let (Some(b), Some(c)) = (base.alloc_bytes, cur.alloc_bytes) {
-        if b > 0 && beyond(b, c, pct) {
-            regressed = true;
-            notes.push(format!(
-                "alloc_bytes {b} → {c} ({}, allowance {pct}%)",
-                pct_change(b, c)
-            ));
+    match (base.alloc_bytes, cur.alloc_bytes) {
+        (Some(b), Some(c)) => {
+            if b > 0 && beyond(b, c, pct) {
+                regressed = true;
+                notes.push(format!(
+                    "alloc_bytes {b} → {c} ({}, allowance {pct}%)",
+                    pct_change(b, c)
+                ));
+            }
         }
+        // An untracked side must say so, not vanish: an allocation
+        // regression hiding behind a baseline regenerated without
+        // tracking would otherwise pass the diff without a trace.
+        _ => notes.push("alloc: not compared (untracked)".to_string()),
     }
     let status = if regressed {
         DiffStatus::Regressed
@@ -459,6 +465,15 @@ mod tests {
         let cur = fixture(&[("adder4", "1φ", 1000, 10, 900_000)], true);
         let d = diff_reports(&base_untracked, &cur, 25).unwrap();
         assert!(d.ok(), "untracked baseline bytes are not comparable");
+        assert!(
+            d.jobs[0]
+                .notes
+                .iter()
+                .any(|n| n == "alloc: not compared (untracked)"),
+            "skipping the alloc comparison must be explicit, got {:?}",
+            d.jobs[0].notes
+        );
+        assert!(d.table().contains("alloc: not compared (untracked)"));
         let base_tracked = fixture(&[("adder4", "1φ", 1000, 10, 1000)], true);
         let d = diff_reports(&base_tracked, &cur, 25).unwrap();
         assert!(!d.ok(), "900× allocation growth must fail");

@@ -59,6 +59,9 @@ pub struct BenchmarkScale {
     pub log2_bits: usize,
     /// `voter` input count (paper: 1001).
     pub voter_inputs: usize,
+    /// Gate budget of the scale-class random benchmark (paper: 100 000,
+    /// matching the `scale-100k` registry default).
+    pub scale_gates: usize,
 }
 
 impl BenchmarkScale {
@@ -71,6 +74,7 @@ impl BenchmarkScale {
             sin_bits: 16,
             log2_bits: 32,
             voter_inputs: 255,
+            scale_gates: 100_000,
         }
     }
 
@@ -83,6 +87,7 @@ impl BenchmarkScale {
             sin_bits: 8,
             log2_bits: 16,
             voter_inputs: 31,
+            scale_gates: 2_000,
         }
     }
 }
@@ -148,6 +153,55 @@ pub fn table1_jobs_with(
         }
     }
     jobs
+}
+
+/// Flow label of the fixpoint-optimization jobs of [`fixpoint_opt_jobs`].
+pub const FIXPOINT_OPT_FLOW: &str = "T1+fix";
+
+/// The scale-class fixpoint-optimization jobs the bench report appends to
+/// the Table-I suite: `adder`, `multiplier` and the seeded `scale-100k`
+/// random network, each through the T1 flow with a *fixpoint* `sfq-opt`
+/// stage in front. These are the allocation-sensitive rows of the
+/// regression baseline — the optimizer dominates their `alloc_bytes`, so
+/// they pin the cost of the in-place-vs-rebuild transform strategy.
+///
+/// `rebuild_passes` selects that strategy (rebuild passes clone the
+/// network once per pass per round); the two flavors produce byte-identical
+/// networks, which is exactly why the flag is worth measuring and not
+/// worth fingerprinting.
+pub fn fixpoint_opt_jobs(
+    scale: &BenchmarkScale,
+    n: u32,
+    lib: &CellLibrary,
+    rebuild_passes: bool,
+) -> Vec<Job> {
+    let mut opt = sfq_opt::OptConfig::standard();
+    opt.rebuild_passes = rebuild_passes;
+    let subjects = [
+        ("adder", epfl::adder(scale.adder_bits)),
+        ("multiplier", epfl::multiplier(scale.multiplier_bits)),
+        (
+            "scale-100k",
+            sfq_circuits::named::build("scale-100k", scale.scale_gates)
+                .expect("scale-100k is registered"),
+        ),
+    ];
+    subjects
+        .into_iter()
+        .map(|(name, aig)| {
+            Job::new(
+                name,
+                FIXPOINT_OPT_FLOW,
+                Arc::new(aig),
+                *lib,
+                FlowConfig::t1(n)
+                    .to_builder()
+                    .timing(true)
+                    .pre_opt(opt.clone())
+                    .build(),
+            )
+        })
+        .collect()
 }
 
 /// Phase counts swept by the ablation study (T1 needs ≥ 3 phases).
@@ -344,6 +398,23 @@ mod tests {
         for (p, o) in plain.iter().zip(&opted) {
             assert_eq!(p.label(), o.label());
             assert_ne!(p.key(), o.key(), "{} must get a distinct key", p.label());
+        }
+    }
+
+    #[test]
+    fn fixpoint_opt_jobs_share_keys_across_strategies() {
+        let lib = CellLibrary::default();
+        let scale = BenchmarkScale::small();
+        let in_place = fixpoint_opt_jobs(&scale, 4, &lib, false);
+        let rebuild = fixpoint_opt_jobs(&scale, 4, &lib, true);
+        assert_eq!(in_place.len(), 3);
+        let names: Vec<&str> = in_place.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names, ["adder", "multiplier", "scale-100k"]);
+        for (a, b) in in_place.iter().zip(&rebuild) {
+            assert_eq!(a.flow, FIXPOINT_OPT_FLOW);
+            // Byte-identical results ⇒ same content address: the strategy
+            // flag must not split the cache.
+            assert_eq!(a.key(), b.key(), "{}: strategy re-keyed the job", a.name);
         }
     }
 

@@ -6,12 +6,20 @@
 //! unknown name is a hard error listing every known benchmark, so a typo
 //! can never fall through to another circuit).
 
+use crate::random::{random_aig, RandomAigConfig};
 use crate::{epfl, iscas};
 use sfq_netlist::aig::Aig;
 
+/// Seed of the `scale-100k` registry entry: the scale-class benchmark must
+/// build the same network everywhere (CI smoke, bench suite, local runs) so
+/// structural hashes compare across machines.
+pub const SCALE_SEED: u64 = 0x5FA1_E100;
+
 /// Benchmark names the registry resolves, with their default widths
-/// (0 = the generator is fixed-size and takes no width).
-pub const KNOWN_BENCHMARKS: [(&str, usize); 8] = [
+/// (0 = the generator is fixed-size and takes no width). For `scale-100k`
+/// the "width" is the gate-construction budget, so `scale-100k:250000`
+/// stretches the same generator to a quarter million attempts.
+pub const KNOWN_BENCHMARKS: [(&str, usize); 9] = [
     ("adder", 128),
     ("multiplier", 32),
     ("square", 32),
@@ -20,6 +28,7 @@ pub const KNOWN_BENCHMARKS: [(&str, usize); 8] = [
     ("voter", 255),
     ("c6288", 0),
     ("c7552", 0),
+    ("scale-100k", 100_000),
 ];
 
 /// Whether `name` is a registered benchmark.
@@ -58,6 +67,15 @@ pub fn build(name: &str, width: usize) -> Result<Aig, String> {
         "voter" => epfl::voter(width),
         "c6288" => iscas::c6288_like(),
         "c7552" => iscas::c7552_like(),
+        "scale-100k" => random_aig(
+            SCALE_SEED,
+            &RandomAigConfig {
+                num_pis: 64,
+                num_gates: width,
+                num_pos: 32,
+                xor_percent: 30,
+            },
+        ),
         _ => unreachable!("name validated above"),
     })
 }
@@ -98,11 +116,22 @@ mod tests {
             ("voter", 15),
             ("c6288", 0),
             ("c7552", 0),
+            ("scale-100k", 2_000),
         ] {
             assert!(is_known(name), "{name} must be registered");
             let aig = build(name, width).expect(name);
             assert!(aig.po_count() > 0, "{name} has no outputs");
         }
+    }
+
+    #[test]
+    fn scale_benchmark_is_deterministic_across_builds() {
+        let a = build("scale-100k", 3_000).unwrap();
+        let b = build("scale-100k", 3_000).unwrap();
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        assert_eq!(a.pi_count(), 64);
+        assert_eq!(a.po_count(), 32);
+        assert!(a.and_count() > 2_000, "strashing must not collapse it");
     }
 
     #[test]

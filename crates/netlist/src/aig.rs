@@ -19,7 +19,7 @@
 //! assert_eq!(aig.and_count(), 3); // xor = 3 ANDs
 //! ```
 
-use std::collections::HashMap;
+use crate::fnv::FnvHashMap;
 use std::fmt;
 
 /// Index of a node inside an [`Aig`]. Node 0 is the constant-zero node.
@@ -107,17 +107,28 @@ struct Node {
     fanout: u32,
 }
 
+/// Kind marking a freed node slot. No *live* AND can ever carry this kind:
+/// [`Aig::and`] folds any constant operand away before a node is created,
+/// so `And(FALSE, FALSE)` is unambiguous as a tombstone.
+const DEAD: NodeKind = NodeKind::And(Lit::FALSE, Lit::FALSE);
+
 /// An and-inverter graph.
 ///
 /// Nodes are stored in topological order by construction (an AND can only be
 /// created after its fanins), so iteration over `0..len` is a valid forward
-/// traversal.
+/// traversal. The in-place editing primitives ([`Aig::substitute`],
+/// [`Aig::replace_fanin`], [`Aig::delete_mffc`]) preserve that invariant
+/// while keeping every surviving node id stable; freed slots are kept on a
+/// free list and reused by later [`Aig::and`] calls, and [`Aig::compact`]
+/// squeezes them out again when a dense network is required.
 #[derive(Debug, Clone, Default)]
 pub struct Aig {
     nodes: Vec<Node>,
     pis: Vec<NodeId>,
     pos: Vec<Lit>,
-    strash: HashMap<(Lit, Lit), NodeId>,
+    strash: FnvHashMap<(Lit, Lit), NodeId>,
+    /// Freed (dead) node slots, ascending.
+    free: Vec<u32>,
 }
 
 impl Aig {
@@ -130,7 +141,8 @@ impl Aig {
             }],
             pis: Vec::new(),
             pos: Vec::new(),
-            strash: HashMap::new(),
+            strash: FnvHashMap::default(),
+            free: Vec::new(),
         }
     }
 
@@ -153,26 +165,31 @@ impl Aig {
 
     /// AND of two literals with simplification and structural hashing.
     pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
-        // Trivial cases.
-        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
-            return Lit::FALSE;
-        }
-        if a == Lit::TRUE {
-            return b;
-        }
-        if b == Lit::TRUE || a == b {
-            return a;
+        if let Some(f) = fold_and(a, b) {
+            return f;
         }
         // Normalize operand order for hashing.
         let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
         if let Some(&id) = self.strash.get(&(a, b)) {
             return Lit::new(id, false);
         }
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
+        // Reuse the lowest freed slot that keeps ids topological (the slot
+        // must sit above both fanins); append when none qualifies.
+        let node = Node {
             kind: NodeKind::And(a, b),
             fanout: 0,
-        });
+        };
+        let min = a.node().0.max(b.node().0);
+        let pos = self.free.partition_point(|&s| s <= min);
+        let id = if pos < self.free.len() {
+            let slot = self.free.remove(pos);
+            self.nodes[slot as usize] = node;
+            NodeId(slot)
+        } else {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(node);
+            id
+        };
         self.nodes[a.node().index()].fanout += 1;
         self.nodes[b.node().index()].fanout += 1;
         self.strash.insert((a, b), id);
@@ -187,14 +204,8 @@ impl Aig {
     /// by cut rewriting to price candidate subgraphs against logic that is
     /// already present.
     pub fn lookup_and(&self, a: Lit, b: Lit) -> Option<Lit> {
-        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
-            return Some(Lit::FALSE);
-        }
-        if a == Lit::TRUE {
-            return Some(b);
-        }
-        if b == Lit::TRUE || a == b {
-            return Some(a);
+        if let Some(f) = fold_and(a, b) {
+            return Some(f);
         }
         let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
         self.strash.get(&(a, b)).map(|&id| Lit::new(id, false))
@@ -239,7 +250,9 @@ impl Aig {
         self.or(pt, pe)
     }
 
-    /// Number of nodes including constant and PIs.
+    /// Number of node *slots* including constant, PIs and any dead slots
+    /// left behind by in-place edits (buffers indexed by [`NodeId`] must be
+    /// sized by this).
     pub fn len(&self) -> usize {
         self.nodes.len()
     }
@@ -249,12 +262,22 @@ impl Aig {
         self.nodes.len() == 1 && self.pos.is_empty()
     }
 
-    /// Number of AND gates.
+    /// Number of live AND gates (dead slots excluded).
     pub fn and_count(&self) -> usize {
         self.nodes
             .iter()
-            .filter(|n| matches!(n.kind, NodeKind::And(..)))
+            .filter(|n| matches!(n.kind, NodeKind::And(..)) && n.kind != DEAD)
             .count()
+    }
+
+    /// Number of freed (dead) node slots awaiting reuse or [`Aig::compact`].
+    pub fn dead_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Whether node `id` is a freed slot left behind by an in-place edit.
+    pub fn is_dead(&self, id: NodeId) -> bool {
+        self.nodes[id.index()].kind == DEAD
     }
 
     /// Number of primary inputs.
@@ -299,15 +322,19 @@ impl Aig {
         self.nodes[id.index()].fanout
     }
 
-    /// Iterator over all node ids in topological order (constant and PIs first).
+    /// Iterator over all node ids in topological order (constant and PIs
+    /// first). Dead slots are included; filter with [`Aig::is_dead`] when
+    /// iterating an edited network.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
-    /// Iterator over AND-node ids in topological order.
+    /// Iterator over live AND-node ids in topological order.
     pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.node_ids()
-            .filter(move |id| matches!(self.nodes[id.index()].kind, NodeKind::And(..)))
+        self.node_ids().filter(move |id| {
+            let kind = self.nodes[id.index()].kind;
+            matches!(kind, NodeKind::And(..)) && kind != DEAD
+        })
     }
 
     /// Logic level of every node (PIs and constant at level 0).
@@ -358,27 +385,48 @@ impl Aig {
     ///
     /// Panics if `inputs.len() != pi_count()`.
     pub fn eval64(&self, inputs: &[u64]) -> Vec<u64> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.eval64_into(inputs, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`Aig::eval64`] writing into caller-owned buffers, mirroring
+    /// [`Aig::levels_into`]: `scratch` holds the per-node values and `out`
+    /// receives the output words, so simulation-heavy loops (the CEC random
+    /// prefilter, the optimizer's signature analysis) reuse two allocations
+    /// across calls instead of paying two fresh vectors each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != pi_count()`.
+    pub fn eval64_into(&self, inputs: &[u64], scratch: &mut Vec<u64>, out: &mut Vec<u64>) {
         assert_eq!(
             inputs.len(),
             self.pis.len(),
             "one word per primary input required"
         );
-        let mut val = vec![0u64; self.nodes.len()];
+        scratch.clear();
+        scratch.resize(self.nodes.len(), 0);
         for id in self.node_ids() {
-            val[id.index()] = match self.nodes[id.index()].kind {
+            scratch[id.index()] = match self.nodes[id.index()].kind {
                 NodeKind::Const0 => 0,
                 NodeKind::Input(i) => inputs[i as usize],
                 NodeKind::And(a, b) => {
-                    let va = val[a.node().index()] ^ if a.is_complement() { u64::MAX } else { 0 };
-                    let vb = val[b.node().index()] ^ if b.is_complement() { u64::MAX } else { 0 };
+                    let va =
+                        scratch[a.node().index()] ^ if a.is_complement() { u64::MAX } else { 0 };
+                    let vb =
+                        scratch[b.node().index()] ^ if b.is_complement() { u64::MAX } else { 0 };
                     va & vb
                 }
             };
         }
-        self.pos
-            .iter()
-            .map(|l| val[l.node().index()] ^ if l.is_complement() { u64::MAX } else { 0 })
-            .collect()
+        out.clear();
+        out.extend(
+            self.pos
+                .iter()
+                .map(|l| scratch[l.node().index()] ^ if l.is_complement() { u64::MAX } else { 0 }),
+        );
     }
 
     /// Evaluates on a single Boolean assignment.
@@ -397,9 +445,439 @@ impl Aig {
             .collect()
     }
 
-    /// Reference counts equal to fanout; exposed for MFFC computation.
-    pub(crate) fn fanout_counts(&self) -> Vec<u32> {
-        self.nodes.iter().map(|n| n.fanout).collect()
+    /// Reference counts equal to fanout, per node slot (dead slots report
+    /// zero); the basis of MFFC computation.
+    pub fn fanout_counts(&self) -> Vec<u32> {
+        let mut counts = Vec::new();
+        self.fanout_counts_into(&mut counts);
+        counts
+    }
+
+    /// [`Aig::fanout_counts`] writing into a caller-owned buffer, mirroring
+    /// [`Aig::levels_into`].
+    pub fn fanout_counts_into(&self, counts: &mut Vec<u32>) {
+        counts.clear();
+        counts.extend(self.nodes.iter().map(|n| n.fanout));
+    }
+
+    /// Recomputes every fanout count from scratch (one forward pass).
+    ///
+    /// The batch editing engine in [`crate::transform`] defers fanout
+    /// bookkeeping while it rewires many sites and calls this once at the
+    /// end; the single-site primitives ([`Aig::substitute`] etc.) maintain
+    /// counts incrementally and never need it.
+    pub fn recompute_fanouts(&mut self) {
+        for n in &mut self.nodes {
+            n.fanout = 0;
+        }
+        for idx in 0..self.nodes.len() {
+            let kind = self.nodes[idx].kind;
+            if kind == DEAD {
+                continue;
+            }
+            if let NodeKind::And(a, b) = kind {
+                self.nodes[a.node().index()].fanout += 1;
+                self.nodes[b.node().index()].fanout += 1;
+            }
+        }
+        for i in 0..self.pos.len() {
+            let n = self.pos[i].node();
+            self.nodes[n.index()].fanout += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // In-place editing.
+    //
+    // These primitives mutate the network without rebuilding it: surviving
+    // node ids never move, so analyses keyed by id (levels, signatures, the
+    // incremental STA) stay valid outside the true edit footprint. Freed
+    // slots are tombstoned (`DEAD`) and tracked on `free`; `Aig::and`
+    // reuses them when the index-topological invariant allows, and
+    // `compact` squeezes them out when a dense network is required (AIGER
+    // export, content addressing via `structural_hash`).
+    // ------------------------------------------------------------------
+
+    /// Replaces fanin `old_fanin` of `node` with `new_fanin`, maintaining
+    /// the strash table. Returns the literal now carrying the node's
+    /// function: `Lit::new(node, false)` when the node stays live in its
+    /// slot, or the fold result when the new fanin pair simplifies (or
+    /// duplicates existing structure below `node`) — in that case the
+    /// node's users and the primary outputs are repointed as by
+    /// [`Aig::substitute`] and the slot is freed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a live AND with a fanin equal to
+    /// `old_fanin`, or if `new_fanin` does not reference a live node with
+    /// index strictly below `node` (the index-topological invariant).
+    pub fn replace_fanin(&mut self, node: NodeId, old_fanin: Lit, new_fanin: Lit) -> Lit {
+        assert!(!self.is_dead(node), "replace_fanin on a dead slot");
+        let NodeKind::And(a, b) = self.nodes[node.index()].kind else {
+            panic!("replace_fanin target must be an AND node");
+        };
+        assert!(
+            a == old_fanin || b == old_fanin,
+            "{old_fanin:?} is not a fanin of n{}",
+            node.0
+        );
+        assert!(
+            new_fanin.node().0 < node.0,
+            "replacement fanin must sit below the node (got {new_fanin:?} for n{})",
+            node.0
+        );
+        assert!(!self.is_dead(new_fanin.node()), "replacement fanin is dead");
+        let na = if a == old_fanin { new_fanin } else { a };
+        let nb = if b == old_fanin { new_fanin } else { b };
+        match self.rewire(node, na, nb) {
+            None => Lit::new(node, false),
+            Some(fold) => {
+                self.propagate(node, fold);
+                debug_assert_eq!(self.nodes[node.index()].fanout, 0);
+                self.free_insert(node);
+                fold
+            }
+        }
+    }
+
+    /// Replaces every use of `old` — fanin references and primary outputs —
+    /// with `new_lit`, composing complements. Users that simplify or become
+    /// structural duplicates under the new fanin fold away transitively
+    /// (always toward lower node ids, so ids stay topological); their slots
+    /// are freed. `old` itself is left in place with its fanout at zero:
+    /// reclaim it and its now-dangling cone with [`Aig::delete_mffc`], and
+    /// restore the dense form with [`Aig::compact`].
+    ///
+    /// The cost is one forward scan from `old` to the end of the node
+    /// array; batch editors (the `sfq-opt` in-place passes) amortize one
+    /// scan over many sites via [`crate::transform`]'s cone-rewrite engine
+    /// instead of calling this per site.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` is the constant or dead, or if `new_lit` does not
+    /// reference a live node with index strictly below `old`.
+    pub fn substitute(&mut self, old: NodeId, new_lit: Lit) {
+        assert!(old != NodeId::CONST0, "cannot substitute the constant node");
+        assert!(!self.is_dead(old), "cannot substitute a dead slot");
+        assert!(
+            new_lit.node().0 < old.0,
+            "substitute requires a replacement below the target (n{} -> {new_lit:?})",
+            old.0
+        );
+        assert!(!self.is_dead(new_lit.node()), "replacement must be live");
+        self.propagate(old, new_lit);
+    }
+
+    /// Deletes the maximum fanout-free cone of `root`: the node itself and,
+    /// transitively, every fanin AND whose references all came from inside
+    /// the cone. Slots are tombstoned and pushed on the free list; PIs and
+    /// the constant are never deleted. Returns the number of ANDs removed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not a live AND or still has fanout (substitute
+    /// its users away first).
+    pub fn delete_mffc(&mut self, root: NodeId) -> usize {
+        assert!(
+            !self.is_dead(root) && matches!(self.nodes[root.index()].kind, NodeKind::And(..)),
+            "delete_mffc requires a live AND node"
+        );
+        assert_eq!(
+            self.nodes[root.index()].fanout,
+            0,
+            "delete_mffc target n{} still has fanout",
+            root.0
+        );
+        let mut stack = vec![root];
+        let mut removed = 0;
+        while let Some(id) = stack.pop() {
+            if self.is_dead(id) {
+                continue;
+            }
+            let NodeKind::And(a, b) = self.nodes[id.index()].kind else {
+                continue; // PIs / constant stay
+            };
+            if self.nodes[id.index()].fanout != 0 {
+                continue;
+            }
+            self.strash_remove_if((a, b), id);
+            self.nodes[id.index()].kind = DEAD;
+            self.free_insert(id);
+            removed += 1;
+            for l in [a, b] {
+                let n = l.node();
+                self.nodes[n.index()].fanout -= 1;
+                if self.nodes[n.index()].fanout == 0 {
+                    stack.push(n);
+                }
+            }
+        }
+        removed
+    }
+
+    /// Squeezes dead slots out, renumbering live nodes densely while
+    /// preserving their relative (topological) order. Returns the old→new
+    /// id map (`None` for freed slots). The strash table is rebuilt in
+    /// place (capacity retained); a no-op when the network has no dead
+    /// slots.
+    pub fn compact(&mut self) -> Vec<Option<NodeId>> {
+        if self.free.is_empty() {
+            return (0..self.nodes.len() as u32)
+                .map(|i| Some(NodeId(i)))
+                .collect();
+        }
+        let order: Vec<NodeId> = (1..self.nodes.len() as u32)
+            .map(NodeId)
+            .filter(|&id| !self.is_dead(id))
+            .collect();
+        self.compact_to(&order)
+    }
+
+    /// [`Aig::compact`] with an explicit new node order: `order` must list
+    /// every live non-constant node exactly once, topologically (each AND
+    /// after both fanins). The batch cone-rewrite engine uses this to land
+    /// its edits in the exact emission order of the reference rebuild path,
+    /// making the two byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the live non-constant
+    /// nodes or is not topologically sorted.
+    pub fn compact_to(&mut self, order: &[NodeId]) -> Vec<Option<NodeId>> {
+        let old_len = self.nodes.len();
+        assert_eq!(
+            order.len() + self.free.len() + 1,
+            old_len,
+            "compact order must cover every live node exactly once"
+        );
+        let mut map: Vec<Option<NodeId>> = vec![None; old_len];
+        map[0] = Some(NodeId::CONST0);
+        for (i, &id) in order.iter().enumerate() {
+            assert!(
+                id != NodeId::CONST0 && !self.is_dead(id),
+                "compact order names n{} which is not a live non-constant node",
+                id.0
+            );
+            assert!(
+                map[id.index()].is_none(),
+                "compact order lists n{} twice",
+                id.0
+            );
+            map[id.index()] = Some(NodeId(i as u32 + 1));
+        }
+        let remap = |map: &[Option<NodeId>], l: Lit| -> Lit {
+            Lit::new(
+                map[l.node().index()].expect("dangling reference into a dropped slot"),
+                l.is_complement(),
+            )
+        };
+        let mut new_nodes = Vec::with_capacity(order.len() + 1);
+        new_nodes.push(self.nodes[0].clone());
+        for &id in order {
+            let n = &self.nodes[id.index()];
+            let kind = match n.kind {
+                NodeKind::Const0 => unreachable!("constant appears only at slot 0"),
+                NodeKind::Input(i) => NodeKind::Input(i),
+                NodeKind::And(a, b) => {
+                    let (mut na, mut nb) = (remap(&map, a), remap(&map, b));
+                    // A non-monotone `order` (the cone-rewrite engine's
+                    // emission order reuses low slots) can flip which fanin
+                    // carries the lower id; re-normalize for the canonical
+                    // form `Aig::and` would have produced.
+                    if na.0 > nb.0 {
+                        std::mem::swap(&mut na, &mut nb);
+                    }
+                    let new_id = map[id.index()].unwrap();
+                    assert!(
+                        na.node().0 < new_id.0 && nb.node().0 < new_id.0,
+                        "compact order is not topological at n{}",
+                        id.0
+                    );
+                    NodeKind::And(na, nb)
+                }
+            };
+            new_nodes.push(Node {
+                kind,
+                fanout: n.fanout,
+            });
+        }
+        self.nodes = new_nodes;
+        for pi in &mut self.pis {
+            *pi = map[pi.index()].expect("primary input dropped by compact");
+        }
+        for po in &mut self.pos {
+            *po = remap(&map, *po);
+        }
+        // Rebuild the strash in place: clear keeps the table's capacity, so
+        // this allocates nothing. `or_insert` keeps the lowest id for any
+        // (transient) duplicate pair, matching fresh-construction ownership.
+        self.strash.clear();
+        for idx in 1..self.nodes.len() {
+            if let NodeKind::And(a, b) = self.nodes[idx].kind {
+                self.strash.entry((a, b)).or_insert(NodeId(idx as u32));
+            }
+        }
+        self.free.clear();
+        map
+    }
+
+    /// Repoints users of the nodes in `repl` seeded with `from -> seed`,
+    /// cascading folds, then repoints POs and frees fold victims. The seed
+    /// node itself is *not* freed (its slot state is the caller's concern).
+    fn propagate(&mut self, from: NodeId, seed: Lit) {
+        let mut repl: FnvHashMap<NodeId, Lit> = FnvHashMap::default();
+        repl.insert(from, seed);
+        let mut folded: Vec<NodeId> = Vec::new();
+        for idx in from.index() + 1..self.nodes.len() {
+            let id = NodeId(idx as u32);
+            let kind = self.nodes[idx].kind;
+            if kind == DEAD {
+                continue;
+            }
+            let NodeKind::And(a, b) = kind else { continue };
+            let na = resolve(&repl, a);
+            let nb = resolve(&repl, b);
+            // Fast path: fanins unchanged and the node still owns its
+            // strash key. (An earlier rewire may have claimed the key for
+            // a lower-id duplicate; then the full path below folds this
+            // node into the claimant, keeping the network duplicate-free.)
+            if na == a && nb == b && self.strash.get(&(a, b)) == Some(&id) {
+                continue;
+            }
+            if let Some(fold) = self.rewire(id, na, nb) {
+                repl.insert(id, fold);
+                folded.push(id);
+            }
+        }
+        for i in 0..self.pos.len() {
+            let po = self.pos[i];
+            if let Some(&r) = repl.get(&po.node()) {
+                let new_po = r.with_complement(r.is_complement() ^ po.is_complement());
+                self.nodes[po.node().index()].fanout -= 1;
+                self.nodes[new_po.node().index()].fanout += 1;
+                self.pos[i] = new_po;
+            }
+        }
+        for id in folded {
+            debug_assert_eq!(self.nodes[id.index()].fanout, 0);
+            self.free_insert(id);
+        }
+    }
+
+    /// Rewires the AND at `id` to the fanin pair `(na, nb)` with strash
+    /// maintenance and incremental fanout bookkeeping. Returns the fold
+    /// literal when the new pair simplifies or duplicates a lower-index
+    /// AND — the victim's kind is tombstoned but its fanout (references
+    /// from yet-unvisited users) is left for the caller to drain — or
+    /// `None` when the node stays live.
+    fn rewire(&mut self, id: NodeId, na: Lit, nb: Lit) -> Option<Lit> {
+        let NodeKind::And(oa, ob) = self.nodes[id.index()].kind else {
+            unreachable!("rewire target must be an AND");
+        };
+        let (na, nb) = if na.0 <= nb.0 { (na, nb) } else { (nb, na) };
+        self.strash_remove_if((oa, ob), id);
+        self.nodes[oa.node().index()].fanout -= 1;
+        self.nodes[ob.node().index()].fanout -= 1;
+        let fold = if let Some(f) = fold_and(na, nb) {
+            Some(f)
+        } else {
+            match self.strash.get(&(na, nb)) {
+                Some(&d) if d.0 < id.0 => Some(Lit::new(d, false)),
+                _ => {
+                    // Either the pair is new, or its current owner sits
+                    // *above* us: claim the key so lookups resolve to the
+                    // lower index (the upper copy stays physically present
+                    // until a strash/sweep pass merges it).
+                    self.strash.insert((na, nb), id);
+                    None
+                }
+            }
+        };
+        match fold {
+            Some(f) => {
+                self.nodes[id.index()].kind = DEAD;
+                Some(f)
+            }
+            None => {
+                self.nodes[id.index()].kind = NodeKind::And(na, nb);
+                self.nodes[na.node().index()].fanout += 1;
+                self.nodes[nb.node().index()].fanout += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes the strash entry for `key` only if it is owned by `id`.
+    pub(crate) fn strash_remove_if(&mut self, key: (Lit, Lit), id: NodeId) {
+        if self.strash.get(&key) == Some(&id) {
+            self.strash.remove(&key);
+        }
+    }
+
+    /// Pushes a tombstoned slot onto the (sorted) free list.
+    fn free_insert(&mut self, id: NodeId) {
+        debug_assert!(self.is_dead(id));
+        let pos = self.free.partition_point(|&s| s < id.0);
+        self.free.insert(pos, id.0);
+    }
+
+    // ------------------------------------------------------------------
+    // Raw hooks for the batch cone-rewrite engine (crate::transform).
+    //
+    // The engine defers fanout bookkeeping to one recompute_fanouts call
+    // and restores the index-topological invariant itself via compact_to,
+    // so these deliberately skip both; they are not sound on their own and
+    // stay crate-private.
+    // ------------------------------------------------------------------
+
+    /// Strash probe by exact (normalized) key.
+    pub(crate) fn strash_get(&self, key: (Lit, Lit)) -> Option<NodeId> {
+        self.strash.get(&key).copied()
+    }
+
+    /// Inserts/overwrites the strash entry for `key`.
+    pub(crate) fn strash_insert(&mut self, key: (Lit, Lit), id: NodeId) {
+        self.strash.insert(key, id);
+    }
+
+    /// Installs an AND kind without strash or fanout maintenance.
+    pub(crate) fn set_and_raw(&mut self, id: NodeId, a: Lit, b: Lit) {
+        debug_assert!(a.0 <= b.0, "fanins must be normalized");
+        self.nodes[id.index()].kind = NodeKind::And(a, b);
+    }
+
+    /// Tombstones a slot and frees it, without fanout maintenance.
+    pub(crate) fn kill_raw(&mut self, id: NodeId) {
+        debug_assert!(!self.is_dead(id));
+        self.nodes[id.index()].kind = DEAD;
+        self.free_insert(id);
+    }
+
+    /// Allocates a slot for an AND with **no** positional constraint: the
+    /// lowest free slot wins, else the array grows. Only valid inside a
+    /// batch edit that ends with [`Aig::compact_to`] (which restores the
+    /// index-topological invariant). No strash or fanout maintenance.
+    pub(crate) fn alloc_any_raw(&mut self, a: Lit, b: Lit) -> NodeId {
+        debug_assert!(a.0 <= b.0, "fanins must be normalized");
+        let node = Node {
+            kind: NodeKind::And(a, b),
+            fanout: 0,
+        };
+        if let Some(&slot) = self.free.first() {
+            self.free.remove(0);
+            self.nodes[slot as usize] = node;
+            NodeId(slot)
+        } else {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    /// Repoints primary output `i` without fanout maintenance.
+    pub(crate) fn set_po_raw(&mut self, i: usize, lit: Lit) {
+        self.pos[i] = lit;
     }
 
     /// Stable 64-bit structural digest of the network.
@@ -411,6 +889,10 @@ impl Aig {
     /// processes and platforms, while editing a single gate changes the
     /// digest with overwhelming probability. This is the content address
     /// used by the `sfq-engine` result cache.
+    ///
+    /// Dead slots *do* participate (the digest is over the raw node array),
+    /// so [`Aig::compact`] an edited network before using the digest as a
+    /// content address.
     pub fn structural_hash(&self) -> u64 {
         use std::hash::Hasher;
         let mut h = crate::fnv::Fnv1a::new();
@@ -435,6 +917,30 @@ impl Aig {
             h.write_u32(po.0);
         }
         h.finish()
+    }
+}
+
+/// The trivial AND simplifications, the single source of truth shared by
+/// [`Aig::and`], [`Aig::lookup_and`], the in-place rewiring path, and the
+/// batch cone-rewrite engine in [`crate::transform`]: `Some` when `a & b`
+/// folds to an existing literal without creating a node.
+pub(crate) fn fold_and(a: Lit, b: Lit) -> Option<Lit> {
+    if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+        Some(Lit::FALSE)
+    } else if a == Lit::TRUE {
+        Some(b)
+    } else if b == Lit::TRUE || a == b {
+        Some(a)
+    } else {
+        None
+    }
+}
+
+/// Applies a replacement map to a literal, composing complements.
+fn resolve(repl: &FnvHashMap<NodeId, Lit>, l: Lit) -> Lit {
+    match repl.get(&l.node()) {
+        Some(&r) => r.with_complement(r.is_complement() ^ l.is_complement()),
+        None => l,
     }
 }
 
@@ -611,5 +1117,224 @@ mod tests {
         g.add_po(x);
         assert_eq!(g.fanout_count(x.node()), 2); // y + PO
         assert_eq!(g.fanout_count(a.node()), 2); // x + y
+    }
+
+    /// Every fanout count must equal the number of live AND + PO references.
+    fn assert_fanouts_consistent(g: &Aig) {
+        let mut expect = vec![0u32; g.len()];
+        for id in g.and_ids() {
+            let (a, b) = g.fanins(id).unwrap();
+            expect[a.node().index()] += 1;
+            expect[b.node().index()] += 1;
+        }
+        for po in g.pos() {
+            expect[po.node().index()] += 1;
+        }
+        for id in g.node_ids() {
+            assert_eq!(
+                g.fanout_count(id),
+                expect[id.index()],
+                "fanout mismatch at n{}",
+                id.0
+            );
+        }
+    }
+
+    #[test]
+    fn substitute_repoints_users_and_pos() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let x = g.and(a, b); // will be replaced by c
+        let y = g.and(x, c);
+        g.add_po(y);
+        g.add_po(!x);
+        g.substitute(x.node(), c);
+        // y = x & c becomes c & c = c, so the first PO folds to c and the
+        // second to !c.
+        assert_eq!(g.pos()[0], c);
+        assert_eq!(g.pos()[1], !c);
+        assert_eq!(g.fanout_count(x.node()), 0);
+        let removed = g.delete_mffc(x.node());
+        assert_eq!(removed, 1);
+        // y folded during substitution, x was deleted: no live ANDs left.
+        assert_eq!(g.and_count(), 0);
+        assert_eq!(g.dead_count(), 2);
+        assert_fanouts_consistent(&g);
+    }
+
+    #[test]
+    fn substitute_folds_structural_duplicates() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let cb = g.and(c, b);
+        let ab = g.and(a, b);
+        let v = g.and(cb, c); // lower-id duplicate target
+        let u = g.and(ab, c); // user of ab, duplicates v once ab -> cb
+        g.add_po(v);
+        g.add_po(u);
+        g.substitute(ab.node(), cb);
+        // u rewires to (cb, c) which duplicates v's structure; the winner
+        // is the lower id, and both POs agree on it.
+        assert_eq!(g.pos()[0], g.pos()[1]);
+        g.delete_mffc(ab.node());
+        assert_eq!(g.and_count(), 2); // cb + the merged user
+        assert_fanouts_consistent(&g);
+        for bits in 0..8u32 {
+            let ins = [bits & 1 == 1, bits >> 1 & 1 == 1, bits >> 2 & 1 == 1];
+            let want = ins[2] && ins[1];
+            assert_eq!(g.eval(&ins), vec![want, want], "input {bits}");
+        }
+    }
+
+    #[test]
+    fn substitute_merges_upper_duplicates_too() {
+        // The duplicate sits *above* the rewired user: the user claims the
+        // strash key, and the upper copy folds into it when the scan gets
+        // there — no stale duplicates survive a substitution.
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let y = g.and(b, c);
+        let x = g.and(a, b);
+        let u = g.and(x, c); // rewires to (y, c) on substitute
+        let d = g.and(y, c); // pre-existing upper duplicate of that pair
+        g.add_po(u);
+        g.add_po(d);
+        g.substitute(x.node(), y);
+        assert_eq!(g.pos()[0], g.pos()[1]);
+        g.delete_mffc(x.node());
+        assert_eq!(g.and_count(), 2); // y + the merged (y & c)
+        assert_fanouts_consistent(&g);
+        for bits in 0..8u32 {
+            let ins = [bits & 1 == 1, bits >> 1 & 1 == 1, bits >> 2 & 1 == 1];
+            let want = ins[1] && ins[2];
+            assert_eq!(g.eval(&ins), vec![want, want], "input {bits}");
+        }
+    }
+
+    #[test]
+    fn delete_mffc_reclaims_cone_and_slots_get_reused() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let x = g.xor(a, b); // 3 ANDs, exclusively feeding x
+        let y = g.and(x, c);
+        g.add_po(y);
+        let before_len = g.len();
+        g.substitute(y.node(), a);
+        g.delete_mffc(y.node());
+        assert_eq!(g.and_count(), 0);
+        assert_eq!(g.dead_count(), 4);
+        // New ANDs reuse freed slots instead of growing the array...
+        let z = g.and(a, c);
+        assert_eq!(g.len(), before_len);
+        assert!(!g.is_dead(z.node()));
+        // ...and only slots above both fanins qualify.
+        assert!(z.node().0 > a.node().0.max(c.node().0));
+        assert_fanouts_consistent(&g);
+    }
+
+    #[test]
+    fn replace_fanin_updates_in_place_and_folds() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let x = g.and(a, b);
+        g.add_po(x);
+        // Plain in-place rewire: same node id, new function.
+        let kept = g.replace_fanin(x.node(), b, c);
+        assert_eq!(kept, x);
+        assert_eq!(g.fanins(x.node()), Some((a, c)));
+        assert_eq!(g.fanout_count(b.node()), 0);
+        assert_eq!(g.fanout_count(c.node()), 1);
+        // Folding rewire: a & !a = false; users and POs repoint, slot freed.
+        let folded = g.replace_fanin(x.node(), c, !a);
+        assert_eq!(folded, Lit::FALSE);
+        assert_eq!(g.pos()[0], Lit::FALSE);
+        assert!(g.is_dead(x.node()));
+        assert_eq!(g.and_count(), 0);
+        assert_fanouts_consistent(&g);
+    }
+
+    #[test]
+    fn compact_restores_dense_form_and_matches_fresh_build() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let c = g.add_pi();
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        let bc = g.and(b, c);
+        g.add_po(abc);
+        g.add_po(bc);
+        // Kill the middle of the id range: substitute ab away, delete it.
+        g.substitute(ab.node(), a);
+        g.delete_mffc(ab.node());
+        assert!(g.dead_count() > 0);
+        let map = g.compact();
+        assert_eq!(g.dead_count(), 0);
+        assert_eq!(map[ab.node().index()], None);
+        // The compacted network hashes identically to building the final
+        // structure from scratch.
+        let mut fresh = Aig::new();
+        let fa = fresh.add_pi();
+        let fb = fresh.add_pi();
+        let fc = fresh.add_pi();
+        let fac = fresh.and(fa, fc);
+        let fbc = fresh.and(fb, fc);
+        fresh.add_po(fac);
+        fresh.add_po(fbc);
+        assert_eq!(g.structural_hash(), fresh.structural_hash());
+        assert_fanouts_consistent(&g);
+    }
+
+    #[test]
+    fn eval64_into_and_fanout_counts_into_reuse_buffers() {
+        let mut g = Aig::new();
+        let a = g.add_pi();
+        let b = g.add_pi();
+        let x = g.xor(a, b);
+        g.add_po(x);
+        let (mut scratch, mut out) = (vec![7u64; 1], Vec::new());
+        g.eval64_into(&[0b1010, 0b0110], &mut scratch, &mut out);
+        assert_eq!(out, g.eval64(&[0b1010, 0b0110]));
+        let mut counts = vec![9u32; 1];
+        g.fanout_counts_into(&mut counts);
+        assert_eq!(counts, g.fanout_counts());
+    }
+
+    #[test]
+    fn edits_keep_ids_topological_and_eval_working() {
+        // After arbitrary primitive edits, every live AND must still sit
+        // above its fanins (the invariant all forward scans rely on).
+        let mut g = Aig::new();
+        let pis: Vec<Lit> = (0..4).map(|_| g.add_pi()).collect();
+        let x = g.xor(pis[0], pis[1]);
+        let y = g.maj3(x, pis[2], pis[3]);
+        g.add_po(y);
+        g.substitute(x.node(), pis[2]);
+        g.delete_mffc(x.node());
+        let z = g.and(pis[0], pis[3]); // reuses a freed slot
+        g.add_po(z);
+        for id in g.and_ids() {
+            let (a, b) = g.fanins(id).unwrap();
+            assert!(a.node().0 < id.0 && b.node().0 < id.0, "n{} fanins", id.0);
+            assert!(!g.is_dead(a.node()) && !g.is_dead(b.node()));
+        }
+        // x is a complemented literal (xor ends in an OR), so substituting
+        // its node by c turns x into !c: po0 = maj(!c, c, d) = d.
+        for bits in 0..16u32 {
+            let ins: Vec<bool> = (0..4).map(|k| bits >> k & 1 == 1).collect();
+            let got = g.eval(&ins);
+            assert_eq!(got[0], ins[3], "po0 = maj(!c, c, d) = d, at {bits}");
+            assert_eq!(got[1], ins[0] && ins[3], "po1 at {bits}");
+        }
     }
 }

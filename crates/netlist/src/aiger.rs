@@ -6,6 +6,13 @@
 //! on the original benchmark files when they are available (our generators
 //! in `sfq-circuits` stand in when they are not).
 //!
+//! Parsing is *streaming*: [`read_ascii_from`]/[`read_binary_from`] consume
+//! any [`std::io::BufRead`] with two reusable line buffers and no
+//! per-node allocations beyond the network itself, so million-node files
+//! parse directly off a buffered file handle without first slurping them
+//! into a string. The slice-based [`read_ascii`]/[`read_binary`] are thin
+//! wrappers over the streaming path.
+//!
 //! Latches are not supported (the paper's flow is combinational); files
 //! containing latches are rejected.
 //!
@@ -28,9 +35,9 @@
 //! # Ok::<(), sfq_netlist::aiger::ParseAigerError>(())
 //! ```
 
-use crate::aig::{Aig, Lit, NodeId, NodeKind};
-use std::collections::HashMap;
+use crate::aig::{Aig, Lit, NodeId};
 use std::fmt;
+use std::io::BufRead;
 
 /// Errors produced while parsing an AIGER file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +59,8 @@ pub enum ParseAigerError {
     UndefinedFanin(u64),
     /// Binary payload truncated or malformed.
     BadBinary(String),
+    /// The underlying reader failed (streaming entry points only).
+    Io(String),
 }
 
 impl fmt::Display for ParseAigerError {
@@ -67,6 +76,7 @@ impl fmt::Display for ParseAigerError {
             ParseAigerError::LiteralOutOfRange(l) => write!(f, "literal {l} out of range"),
             ParseAigerError::UndefinedFanin(l) => write!(f, "fanin literal {l} undefined"),
             ParseAigerError::BadBinary(s) => write!(f, "bad binary AIGER: {s}"),
+            ParseAigerError::Io(s) => write!(f, "AIGER read failed: {s}"),
         }
     }
 }
@@ -140,34 +150,68 @@ impl VarMap {
     }
 }
 
-/// Parses an ASCII AIGER (`aag`) file.
+/// Fills `buf` with the next non-empty line of `r` (trailing newline and
+/// surrounding whitespace trimmed in place). Returns `false` at EOF.
+fn next_line(r: &mut impl BufRead, buf: &mut String) -> Result<bool, ParseAigerError> {
+    loop {
+        buf.clear();
+        let n = r
+            .read_line(buf)
+            .map_err(|e| ParseAigerError::Io(e.to_string()))?;
+        if n == 0 {
+            return Ok(false);
+        }
+        buf.truncate(buf.trim_end().len());
+        let lead = buf.len() - buf.trim_start().len();
+        buf.drain(..lead);
+        if !buf.is_empty() {
+            return Ok(true);
+        }
+    }
+}
+
+/// Parses an ASCII AIGER (`aag`) file from a string slice.
 ///
 /// # Errors
 ///
 /// Any structural problem yields a [`ParseAigerError`]; see the variants.
 pub fn read_ascii(text: &str) -> Result<Aig, ParseAigerError> {
-    let mut lines = text.lines();
-    let header_line = lines
-        .next()
-        .ok_or_else(|| ParseAigerError::BadHeader("empty file".into()))?;
-    let h = parse_header(header_line, "aag")?;
+    read_ascii_from(text.as_bytes())
+}
+
+/// Streaming ASCII AIGER (`aag`) parser: consumes any buffered reader line
+/// by line through one reusable buffer — no per-node allocations, no
+/// up-front slurp. The entry point for paper-scale files
+/// (`BufReader::new(File::open(..)?)`).
+///
+/// # Errors
+///
+/// As [`read_ascii`], plus [`ParseAigerError::Io`] when the reader fails.
+pub fn read_ascii_from(mut r: impl BufRead) -> Result<Aig, ParseAigerError> {
+    let mut line = String::new();
+    if !next_line(&mut r, &mut line)? {
+        return Err(ParseAigerError::BadHeader("empty file".into()));
+    }
+    let h = parse_header(&line, "aag")?;
     if h.latches != 0 {
         return Err(ParseAigerError::LatchesUnsupported);
     }
 
     let mut g = Aig::new();
     let mut vars = VarMap::new(h.max_var);
-    let mut body = lines.map(str::trim).filter(|l| !l.is_empty());
-    let mut take = |what: &str| -> Result<&str, ParseAigerError> {
-        body.next()
-            .ok_or_else(|| ParseAigerError::BadHeader(format!("missing {what} line")))
+    let mut take = |line: &mut String, what: &str| -> Result<(), ParseAigerError> {
+        if next_line(&mut r, line)? {
+            Ok(())
+        } else {
+            Err(ParseAigerError::BadHeader(format!("missing {what} line")))
+        }
     };
 
     for _ in 0..h.inputs {
-        let l = take("input")?;
-        let lit: u64 = l
+        take(&mut line, "input")?;
+        let lit: u64 = line
             .parse()
-            .map_err(|_| ParseAigerError::BadHeader(format!("bad input literal '{l}'")))?;
+            .map_err(|_| ParseAigerError::BadHeader(format!("bad input literal '{line}'")))?;
         if lit & 1 == 1 || lit == 0 {
             return Err(ParseAigerError::BadHeader(format!(
                 "input literal {lit} must be positive and even"
@@ -179,26 +223,28 @@ pub fn read_ascii(text: &str) -> Result<Aig, ParseAigerError> {
 
     let mut outputs = Vec::with_capacity(h.outputs as usize);
     for _ in 0..h.outputs {
-        let l = take("output")?;
-        let lit: u64 = l
+        take(&mut line, "output")?;
+        let lit: u64 = line
             .parse()
-            .map_err(|_| ParseAigerError::BadHeader(format!("bad output literal '{l}'")))?;
+            .map_err(|_| ParseAigerError::BadHeader(format!("bad output literal '{line}'")))?;
         outputs.push(lit);
     }
 
     for _ in 0..h.ands {
-        let l = take("and gate")?;
-        let nums: Vec<u64> = l
-            .split_whitespace()
-            .map(|p| p.parse())
-            .collect::<Result<_, _>>()
-            .map_err(|_| ParseAigerError::BadHeader(format!("bad and line '{l}'")))?;
-        if nums.len() != 3 {
+        take(&mut line, "and gate")?;
+        let mut fields = line.split_ascii_whitespace().map(str::parse::<u64>);
+        let mut field = || -> Result<u64, ParseAigerError> {
+            fields
+                .next()
+                .and_then(Result::ok)
+                .ok_or_else(|| ParseAigerError::BadHeader(format!("bad and line '{line}'")))
+        };
+        let (lhs, r0, r1) = (field()?, field()?, field()?);
+        if fields.next().is_some() {
             return Err(ParseAigerError::BadHeader(format!(
-                "and line '{l}' needs 3 literals"
+                "and line '{line}' needs 3 literals"
             )));
         }
-        let (lhs, r0, r1) = (nums[0], nums[1], nums[2]);
         if lhs & 1 == 1 {
             return Err(ParseAigerError::BadHeader(format!(
                 "and lhs {lhs} must be even"
@@ -224,6 +270,7 @@ pub fn read_ascii(text: &str) -> Result<Aig, ParseAigerError> {
 /// The output is canonical: variables are numbered constant-first, then
 /// inputs, then AND gates in topological order.
 pub fn write_ascii(aig: &Aig) -> String {
+    use std::fmt::Write;
     let (order, ext_of) = externalize(aig);
     let num_ands = order.len();
     let mut out = format!(
@@ -234,36 +281,60 @@ pub fn write_ascii(aig: &Aig) -> String {
         num_ands
     );
     for i in 0..aig.pi_count() {
-        out.push_str(&format!("{}\n", (i as u64 + 1) * 2));
+        let _ = writeln!(out, "{}", (i as u64 + 1) * 2);
     }
     for po in aig.pos() {
-        out.push_str(&format!("{}\n", ext_lit(*po, &ext_of)));
+        let _ = writeln!(out, "{}", ext_lit(*po, &ext_of));
     }
     for &node in &order {
         let (a, b) = aig.fanins(node).expect("order contains only AND nodes");
-        out.push_str(&format!(
-            "{} {} {}\n",
-            ext_of[&node] * 2,
+        let _ = writeln!(
+            out,
+            "{} {} {}",
+            ext_of[node.index()] * 2,
             ext_lit(a, &ext_of),
             ext_lit(b, &ext_of)
-        ));
+        );
     }
     out
 }
 
-/// Parses a binary AIGER (`aig`) file.
+/// Parses a binary AIGER (`aig`) file from a byte slice.
 ///
 /// # Errors
 ///
 /// See [`ParseAigerError`]; truncated delta codes yield
 /// [`ParseAigerError::BadBinary`].
 pub fn read_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
-    // Header is the ASCII first line.
-    let nl = bytes
-        .iter()
-        .position(|&b| b == b'\n')
-        .ok_or_else(|| ParseAigerError::BadHeader("no newline after header".into()))?;
-    let header_line = std::str::from_utf8(&bytes[..nl])
+    read_binary_from(bytes)
+}
+
+/// Streaming binary AIGER (`aig`) parser over any buffered reader: the
+/// header and output lines go through one reusable buffer and the
+/// delta-coded AND section is decoded byte by byte straight off the
+/// reader's buffer — no per-node allocations, no up-front slurp.
+///
+/// # Errors
+///
+/// As [`read_binary`], plus [`ParseAigerError::Io`] when the reader fails.
+pub fn read_binary_from(mut r: impl BufRead) -> Result<Aig, ParseAigerError> {
+    // Header is the ASCII first line; output literals follow, one ASCII
+    // line each. A reusable byte buffer serves both.
+    let mut line: Vec<u8> = Vec::new();
+    let mut read_text_line = |line: &mut Vec<u8>| -> Result<(), ParseAigerError> {
+        line.clear();
+        let n = r
+            .read_until(b'\n', line)
+            .map_err(|e| ParseAigerError::Io(e.to_string()))?;
+        if n == 0 || line.last() != Some(&b'\n') {
+            return Err(ParseAigerError::BadBinary("truncated text section".into()));
+        }
+        line.pop();
+        Ok(())
+    };
+    read_text_line(&mut line)
+        .map_err(|_| ParseAigerError::BadHeader("no newline after header".into()))?;
+    let header_line = std::str::from_utf8(&line)
         .map_err(|_| ParseAigerError::BadHeader("non-UTF8 header".into()))?;
     let h = parse_header(header_line, "aig")?;
     if h.latches != 0 {
@@ -275,23 +346,20 @@ pub fn read_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
             h.max_var, h.inputs, h.ands
         )));
     }
-    let mut pos = nl + 1;
 
-    // Outputs: one ASCII literal per line.
     let mut outputs = Vec::with_capacity(h.outputs as usize);
     for _ in 0..h.outputs {
-        let end = bytes[pos..]
-            .iter()
-            .position(|&b| b == b'\n')
-            .ok_or_else(|| ParseAigerError::BadBinary("truncated outputs".into()))?;
-        let line = std::str::from_utf8(&bytes[pos..pos + end])
+        read_text_line(&mut line).map_err(|e| match e {
+            ParseAigerError::BadBinary(_) => ParseAigerError::BadBinary("truncated outputs".into()),
+            other => other,
+        })?;
+        let text = std::str::from_utf8(&line)
             .map_err(|_| ParseAigerError::BadBinary("non-UTF8 output line".into()))?;
-        let lit: u64 = line
+        let lit: u64 = text
             .trim()
             .parse()
-            .map_err(|_| ParseAigerError::BadBinary(format!("bad output '{line}'")))?;
+            .map_err(|_| ParseAigerError::BadBinary(format!("bad output '{text}'")))?;
         outputs.push(lit);
-        pos += end + 1;
     }
 
     // AND gates: delta-encoded pairs.
@@ -301,14 +369,17 @@ pub fn read_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
         let pi = g.add_pi();
         vars.define((i + 1) * 2, pi)?;
     }
-    let read_delta = |pos: &mut usize| -> Result<u64, ParseAigerError> {
+    let mut read_delta = || -> Result<u64, ParseAigerError> {
         let mut x = 0u64;
         let mut shift = 0u32;
         loop {
-            let byte = *bytes
-                .get(*pos)
-                .ok_or_else(|| ParseAigerError::BadBinary("truncated delta".into()))?;
-            *pos += 1;
+            let buf = r
+                .fill_buf()
+                .map_err(|e| ParseAigerError::Io(e.to_string()))?;
+            let Some(&byte) = buf.first() else {
+                return Err(ParseAigerError::BadBinary("truncated delta".into()));
+            };
+            r.consume(1);
             x |= u64::from(byte & 0x7F) << shift;
             if byte & 0x80 == 0 {
                 return Ok(x);
@@ -321,8 +392,8 @@ pub fn read_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
     };
     for i in 0..h.ands {
         let lhs = (h.inputs + i + 1) * 2;
-        let d0 = read_delta(&mut pos)?;
-        let d1 = read_delta(&mut pos)?;
+        let d0 = read_delta()?;
+        let d1 = read_delta()?;
         let r0 = lhs
             .checked_sub(d0)
             .ok_or_else(|| ParseAigerError::BadBinary("delta0 exceeds lhs".into()))?;
@@ -342,6 +413,7 @@ pub fn read_binary(bytes: &[u8]) -> Result<Aig, ParseAigerError> {
 
 /// Serializes an AIG as a binary AIGER (`aig`) byte vector.
 pub fn write_binary(aig: &Aig) -> Vec<u8> {
+    use std::io::Write;
     let (order, ext_of) = externalize(aig);
     let num_ands = order.len();
     let mut out = format!(
@@ -353,7 +425,7 @@ pub fn write_binary(aig: &Aig) -> Vec<u8> {
     )
     .into_bytes();
     for po in aig.pos() {
-        out.extend_from_slice(format!("{}\n", ext_lit(*po, &ext_of)).as_bytes());
+        let _ = writeln!(out, "{}", ext_lit(*po, &ext_of));
     }
     let push_delta = |out: &mut Vec<u8>, mut x: u64| loop {
         let mut byte = (x & 0x7F) as u8;
@@ -368,7 +440,7 @@ pub fn write_binary(aig: &Aig) -> Vec<u8> {
     };
     for &node in &order {
         let (a, b) = aig.fanins(node).expect("AND node");
-        let lhs = ext_of[&node] * 2;
+        let lhs = ext_of[node.index()] * 2;
         let mut l0 = ext_lit(a, &ext_of);
         let mut l1 = ext_lit(b, &ext_of);
         if l0 < l1 {
@@ -381,28 +453,27 @@ pub fn write_binary(aig: &Aig) -> Vec<u8> {
     out
 }
 
-/// Assigns external variable numbers: inputs 1..=I, ANDs I+1.. in
-/// topological order. Returns (AND order, node → external var).
-fn externalize(aig: &Aig) -> (Vec<NodeId>, HashMap<NodeId, u64>) {
-    let mut ext_of: HashMap<NodeId, u64> = HashMap::new();
-    ext_of.insert(NodeId::CONST0, 0);
+/// Assigns external variable numbers: inputs 1..=I, live ANDs I+1.. in
+/// topological order. Returns (AND order, node index → external var). The
+/// map is a dense vector — node ids index it directly, so million-node
+/// writes skip hashing entirely. Freed slots of an in-place-edited
+/// network are excluded (their entry stays 0, never referenced by a live
+/// fanin).
+fn externalize(aig: &Aig) -> (Vec<NodeId>, Vec<u64>) {
+    let mut ext_of: Vec<u64> = vec![0; aig.len()];
     for (i, &pi) in aig.pis().iter().enumerate() {
-        ext_of.insert(pi, i as u64 + 1);
+        ext_of[pi.index()] = i as u64 + 1;
     }
     let mut order = Vec::new();
-    let mut next = aig.pi_count() as u64 + 1;
-    for id in aig.node_ids() {
-        if matches!(aig.kind(id), NodeKind::And(..)) {
-            ext_of.insert(id, next);
-            next += 1;
-            order.push(id);
-        }
+    for (next, id) in (aig.pi_count() as u64 + 1..).zip(aig.and_ids()) {
+        ext_of[id.index()] = next;
+        order.push(id);
     }
     (order, ext_of)
 }
 
-fn ext_lit(l: Lit, ext_of: &HashMap<NodeId, u64>) -> u64 {
-    ext_of[&l.node()] * 2 + l.is_complement() as u64
+fn ext_lit(l: Lit, ext_of: &[u64]) -> u64 {
+    ext_of[l.node().index()] * 2 + l.is_complement() as u64
 }
 
 #[cfg(test)]

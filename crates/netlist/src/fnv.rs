@@ -25,7 +25,7 @@
 //! assert_eq!(a.finish(), b.finish()); // deterministic across instances
 //! ```
 
-use std::hash::Hasher;
+use std::hash::{BuildHasher, Hasher};
 
 const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
 const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -90,9 +90,54 @@ impl Hasher for Fnv1a {
     }
 }
 
+/// [`BuildHasher`] producing [`Fnv1a`] hashers, for use as the `S`
+/// parameter of `HashMap`/`HashSet` on hot paths.
+///
+/// The default SipHash hasher is DoS-resistant but costs ~2× per lookup on
+/// the short fixed-width keys the netlist layer hashes (packed literal
+/// pairs, truth tables, node ids). Those maps never hash attacker-chosen
+/// data, so the strash table and the optimizer's memo tables trade the
+/// resistance for speed. Determinism is a bonus: iteration-independent
+/// algorithms stay byte-identical, and seeded-map behavior can never leak
+/// into results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FnvBuildHasher;
+
+impl BuildHasher for FnvBuildHasher {
+    type Hasher = Fnv1a;
+
+    fn build_hasher(&self) -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+/// A `HashMap` keyed with [`FnvBuildHasher`].
+pub type FnvHashMap<K, V> = std::collections::HashMap<K, V, FnvBuildHasher>;
+
+/// A `HashSet` keyed with [`FnvBuildHasher`].
+pub type FnvHashSet<T> = std::collections::HashSet<T, FnvBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn build_hasher_matches_direct_use() {
+        let mut direct = Fnv1a::new();
+        direct.write_u64(0xDEAD_BEEF);
+        let mut built = FnvBuildHasher.build_hasher();
+        built.write_u64(0xDEAD_BEEF);
+        assert_eq!(direct.finish(), built.finish());
+    }
+
+    #[test]
+    fn fnv_map_works_as_a_map() {
+        let mut m: FnvHashMap<u32, &str> = FnvHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.len(), 2);
+    }
 
     #[test]
     fn known_vectors() {

@@ -1,8 +1,10 @@
 //! Property-based tests for the netlist substrate: truth-table algebra, NPN
-//! canonization, cut enumeration, MFFC and AIGER round-trips.
+//! canonization, cut enumeration, MFFC, AIGER round-trips, and the ID-stable
+//! in-place editing primitives (random edit sequences followed by
+//! [`Aig::compact`] must match a from-scratch builder rebuild exactly).
 
 use proptest::prelude::*;
-use sfq_netlist::aig::{Aig, Lit};
+use sfq_netlist::aig::{Aig, Lit, NodeId, NodeKind};
 use sfq_netlist::aiger::{read_ascii, read_binary, write_ascii, write_binary};
 use sfq_netlist::cut::{enumerate_cuts, CutConfig};
 use sfq_netlist::mffc::Mffc;
@@ -36,6 +38,61 @@ fn build_aig(script: &[u8], num_pis: usize) -> Aig {
     g.add_po(out);
     g.add_po(!pool[pool.len() / 2]);
     g
+}
+
+/// Replays the live nodes of `g` (which may contain freed slots) through
+/// the public builder API — the from-scratch rebuild the in-place editing
+/// primitives are pinned against. Because `Aig::and` eagerly folds and
+/// deduplicates, hash equality with [`Aig::compact`]'s output proves the
+/// edited network stayed *canonical*: no live AND is trivial or a
+/// structural duplicate.
+fn rebuild_via_builder(g: &Aig) -> Aig {
+    let mut out = Aig::new();
+    let mut map: Vec<Option<Lit>> = vec![None; g.len()];
+    map[NodeId::CONST0.index()] = Some(Lit::FALSE);
+    let mapped = |map: &[Option<Lit>], l: Lit| -> Lit {
+        let base = map[l.node().index()].expect("live fanins precede their node");
+        base.with_complement(base.is_complement() ^ l.is_complement())
+    };
+    for id in g.node_ids() {
+        if g.is_dead(id) {
+            continue;
+        }
+        match g.kind(id) {
+            NodeKind::Const0 => {}
+            NodeKind::Input(_) => map[id.index()] = Some(out.add_pi()),
+            NodeKind::And(a, b) => {
+                let (fa, fb) = (mapped(&map, a), mapped(&map, b));
+                map[id.index()] = Some(out.and(fa, fb));
+            }
+        }
+    }
+    for &po in g.pos() {
+        out.add_po(mapped(&map, po));
+    }
+    out
+}
+
+/// Applies one random substitute(+delete) edit decoded from `(pick, alt,
+/// reclaim)`; a no-op when the network has no editable AND left.
+fn apply_random_edit(g: &mut Aig, pick: u32, alt: u32, reclaim: bool) {
+    let ands: Vec<NodeId> = g.and_ids().collect();
+    if ands.is_empty() {
+        return;
+    }
+    let old = ands[pick as usize % ands.len()];
+    // Any live node strictly below the target is a valid replacement;
+    // the constant (node 0) is always live, so the pool is never empty.
+    let pool: Vec<NodeId> = g
+        .node_ids()
+        .filter(|&n| n.0 < old.0 && !g.is_dead(n))
+        .collect();
+    let target = pool[alt as usize % pool.len()];
+    let neg = (alt >> 16) & 1 == 1;
+    g.substitute(old, Lit::new(target, neg));
+    if reclaim {
+        g.delete_mffc(old);
+    }
 }
 
 /// The `index`-th (0..24) permutation of `[0, 1, 2, 3]`, via Lehmer-code
@@ -208,6 +265,47 @@ proptest! {
         let back = read_binary(&write_binary(&g)).expect("own output parses");
         let inputs: Vec<u64> = (0..5u64).map(|i| i.wrapping_mul(0x0123_4567_89AB_CDEF)).collect();
         prop_assert_eq!(g.eval64(&inputs), back.eval64(&inputs));
+    }
+
+    #[test]
+    fn random_edits_then_compact_match_a_builder_rebuild(
+        script in prop::collection::vec(any::<u8>(), 12..90),
+        edits in prop::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 1..10),
+    ) {
+        // Any sequence of in-place substitute/delete edits must leave a
+        // canonical network: squeezing its free slots out (`compact`) and
+        // replaying it through the eagerly-hashing builder must agree node
+        // for node — the rebuild-path identity the in-place optimizer
+        // passes inherit.
+        let mut g = build_aig(&script, 4);
+        for (pick, alt, reclaim) in edits {
+            apply_random_edit(&mut g, pick, alt, reclaim);
+        }
+        let rebuilt = rebuild_via_builder(&g);
+        let edited_function: Vec<u64> = {
+            let inputs: Vec<u64> =
+                (0..4u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+            g.eval64(&inputs)
+        };
+        let mut compacted = g;
+        compacted.compact();
+        prop_assert_eq!(compacted.dead_count(), 0);
+        prop_assert_eq!(
+            compacted.structural_hash(),
+            rebuilt.structural_hash(),
+            "compact() of the edited network must equal the builder rebuild"
+        );
+        // Compaction renumbers but must not change the function.
+        let inputs: Vec<u64> =
+            (0..4u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        prop_assert_eq!(compacted.eval64(&inputs), edited_function);
+        // Fanout bookkeeping survives the whole edit+compact sequence.
+        let recounted = {
+            let mut c = compacted.clone();
+            c.recompute_fanouts();
+            c.fanout_counts()
+        };
+        prop_assert_eq!(compacted.fanout_counts(), recounted);
     }
 
     #[test]

@@ -147,7 +147,17 @@ fn splitmix64(mut x: u64) -> u64 {
 /// candidates with before paying for SAT. Exposed as a free function so
 /// tests can cross-check the cached copy in [`OptContext::signatures`].
 pub fn signatures_of(aig: &Aig) -> Vec<u64> {
-    let mut sig = vec![0u64; aig.len()];
+    let mut sig = Vec::new();
+    signatures_of_into(aig, &mut sig);
+    sig
+}
+
+/// [`signatures_of`] writing into a caller-owned buffer, mirroring
+/// [`Aig::levels_into`]: the fixpoint loop re-signs the network every
+/// round, and the context reuses one allocation across all of them.
+pub fn signatures_of_into(aig: &Aig, sig: &mut Vec<u64>) {
+    sig.clear();
+    sig.resize(aig.len(), 0);
     for id in aig.node_ids() {
         sig[id.index()] = match aig.kind(id) {
             NodeKind::Const0 => 0,
@@ -159,7 +169,6 @@ pub fn signatures_of(aig: &Aig) -> Vec<u64> {
             }
         };
     }
-    sig
 }
 
 /// Structural equality of two networks: same node array (kinds and fanin
@@ -261,7 +270,7 @@ impl OptContext {
     /// [`signatures_of`]).
     pub fn signatures(&mut self, aig: &Aig) -> &[u64] {
         if self.scratch || !self.signatures_fresh || self.signatures.len() != aig.len() {
-            self.signatures = signatures_of(aig);
+            signatures_of_into(aig, &mut self.signatures);
             self.signatures_fresh = true;
             self.counters.recomputes += 1;
         } else {

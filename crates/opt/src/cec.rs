@@ -522,10 +522,17 @@ pub fn check_equivalence(a: &Aig, b: &Aig, cfg: &CecConfig) -> Result<CecOutcome
     let mut stats = CecStats::default();
     let mut rng = Rng::new(cfg.seed);
 
-    // Stage 1: random-simulation prefilter.
+    // Stage 1: random-simulation prefilter. One set of buffers serves every
+    // pattern word ([`Aig::eval64_into`]) — at `sim_words = 8` on a
+    // million-node network the naive form would allocate sixteen fresh
+    // node-sized vectors before the solver even starts.
+    let mut inputs = Vec::with_capacity(a.pi_count());
+    let (mut scratch, mut oa, mut ob) = (Vec::new(), Vec::new(), Vec::new());
     for _ in 0..cfg.sim_words {
-        let inputs: Vec<u64> = (0..a.pi_count()).map(|_| rng.next()).collect();
-        let (oa, ob) = (a.eval64(&inputs), b.eval64(&inputs));
+        inputs.clear();
+        inputs.extend((0..a.pi_count()).map(|_| rng.next()));
+        a.eval64_into(&inputs, &mut scratch, &mut oa);
+        b.eval64_into(&inputs, &mut scratch, &mut ob);
         stats.sim_words += 1;
         if let Some(bit) = oa
             .iter()

@@ -65,7 +65,7 @@ pub mod rewrite;
 pub mod table;
 mod util;
 
-pub use analysis::{signatures_of, CtxCounters, OptContext, Preserved};
+pub use analysis::{signatures_of, signatures_of_into, CtxCounters, OptContext, Preserved};
 pub use cec::{check_equivalence, CecConfig, CecError, CecOutcome, CecStats, CecVerdict};
 pub use pass::{
     optimize, optimize_verified, parse_passes, Balance, BalanceCritical, OptConfig, OptPass,

@@ -40,9 +40,13 @@
 //!   is unchanged, so the fixpoint guard invariants hold as in the other
 //!   modes.
 //!
-//! Accepted sites are committed in one reconstruction sweep: freed interior
-//! nodes are skipped, roots are instantiated from their class programs, and
-//! everything else is copied through structural hashing.
+//! Accepted sites are lowered to [`sfq_netlist::transform::ConeRewrite`]
+//! plans and committed by the netlist crate's batch engine — the rebuild
+//! path ([`rewrite_network_ctx`]) reconstructs the network in one sweep,
+//! while the default ID-stable path ([`rewrite_network_in_place_ctx`])
+//! edits slots in place; the two produce structurally identical networks
+//! by construction, and a round with zero accepted sites leaves the
+//! in-place network completely untouched.
 //!
 //! Analyses are consumed through the [`OptContext`] threaded down from the
 //! pass manager: levels are a cache hit when the previous pass preserved
@@ -54,13 +58,16 @@
 
 use crate::analysis::OptContext;
 use crate::table::{Program, RewriteTable};
-use crate::util::mapped;
-use sfq_netlist::aig::{Aig, Lit, NodeId, NodeKind};
+use sfq_netlist::aig::{Aig, Lit, NodeId};
 use sfq_netlist::cut::{enumerate_cuts, CutConfig};
+use sfq_netlist::fnv::FnvHashMap;
 use sfq_netlist::mffc::Mffc;
 use sfq_netlist::npn::{npn_canonical, NpnCanon};
+use sfq_netlist::transform::{
+    apply_cone_rewrites_in_place, apply_cone_rewrites_rebuild, ConeRewrite,
+};
 use sfq_netlist::truth_table::TruthTable;
-use std::collections::HashMap;
+use sfq_sta::AigSta;
 use std::sync::Arc;
 
 /// The phase count `rewrite-dff` assumes when none is configured (the
@@ -143,6 +150,22 @@ struct Site {
     inputs: Vec<Lit>,
     /// Complement the program output (NPN output negation).
     output_neg: bool,
+}
+
+impl Site {
+    /// Lowers the site into the netlist crate's network-independent
+    /// [`ConeRewrite`] form: the program steps ride along verbatim (the
+    /// packed-literal encodings match by construction) and the NPN output
+    /// negation folds into the output literal's complement bit.
+    fn lower(self, root: NodeId, freed: Vec<NodeId>) -> ConeRewrite {
+        ConeRewrite {
+            root,
+            freed,
+            inputs: self.inputs,
+            steps: self.program.steps().to_vec(),
+            out: self.program.out() ^ u16::from(self.output_neg),
+        }
+    }
 }
 
 /// Cost/level probe of instantiating `prog` with `inputs` against the
@@ -271,6 +294,53 @@ pub fn rewrite_network_ctx(
     config: &RewriteConfig,
     ctx: &mut OptContext,
 ) -> (Aig, usize) {
+    let (sites, sta) = select_sites(aig, config, ctx);
+    let applied = sites.len();
+    let out = apply_cone_rewrites_rebuild(aig, &sites);
+    if let Some(sta) = sta {
+        // Hand the analysis back rebound to the reconstructed network:
+        // floors are cleared and only the changed cones are refreshed, so
+        // the next timing consumer (this pass's next round, or a later
+        // balance-slack) gets an exact analysis without a rebuild.
+        ctx.finish_sta(sta, &out);
+    }
+    (out, applied)
+}
+
+/// The ID-stable variant of [`rewrite_network_ctx`]: the same site
+/// selection, applied by editing `aig` in place
+/// ([`apply_cone_rewrites_in_place`]) instead of rebuilding it. The result
+/// is structurally identical to the rebuild path's; with zero accepted
+/// sites the network is left completely untouched — the converged fixpoint
+/// rounds that dominate paper-scale `opt --fixpoint` runs then cost no
+/// reconstruction, no compaction and no analysis invalidation at all.
+/// Returns the number of sites committed.
+pub fn rewrite_network_in_place_ctx(
+    aig: &mut Aig,
+    config: &RewriteConfig,
+    ctx: &mut OptContext,
+) -> usize {
+    let (sites, sta) = select_sites(aig, config, ctx);
+    let applied = sites.len();
+    if applied > 0 {
+        apply_cone_rewrites_in_place(aig, &sites);
+    }
+    if let Some(sta) = sta {
+        ctx.finish_sta(sta, aig);
+    }
+    applied
+}
+
+/// The shared selection phase: enumerates cuts, prices candidate
+/// replacements and greedily commits non-overlapping sites, returning them
+/// lowered to [`ConeRewrite`]s in root-scan (topological) order together
+/// with the timing analysis taken from the context (timing modes only —
+/// hand it back through [`OptContext::finish_sta`] after applying).
+fn select_sites(
+    aig: &Aig,
+    config: &RewriteConfig,
+    ctx: &mut OptContext,
+) -> (Vec<ConeRewrite>, Option<AigSta>) {
     let cuts = enumerate_cuts(
         aig,
         &CutConfig {
@@ -300,10 +370,12 @@ pub fn rewrite_network_ctx(
     let mut mffc = Mffc::new(aig);
     let table = RewriteTable::global();
     // Cut functions repeat heavily (every full adder contributes the same
-    // XOR3/MAJ3 tables), so canonization is memoized per run.
-    let mut canon_memo: HashMap<TruthTable, NpnCanon> = HashMap::new();
+    // XOR3/MAJ3 tables), so canonization is memoized per run. FNV keying:
+    // truth tables are short fixed-width non-adversarial keys, the case
+    // `sfq_netlist::fnv` exists for.
+    let mut canon_memo: FnvHashMap<TruthTable, NpnCanon> = FnvHashMap::default();
 
-    let mut sites: HashMap<NodeId, Site> = HashMap::new();
+    let mut sites: Vec<ConeRewrite> = Vec::new();
     let mut dead = vec![false; aig.len()];
     let mut is_root = vec![false; aig.len()];
 
@@ -407,7 +479,6 @@ pub fn rewrite_network_ctx(
                 }
             }
             is_root[root.index()] = true;
-            sites.insert(root, site);
             if let Some(s) = sta.as_mut() {
                 if out_level > s.arrival(root) {
                     // Feed the accepted growth back into the analysis so
@@ -415,45 +486,10 @@ pub fn rewrite_network_ctx(
                     s.raise_arrival(root, out_level);
                 }
             }
+            sites.push(site.lower(root, freed));
         }
     }
-
-    // Reconstruction: freed interiors are skipped, roots instantiate their
-    // programs, everything else copies through the strash.
-    let applied = sites.len();
-    let mut out = Aig::new();
-    let mut map: Vec<Option<Lit>> = vec![None; aig.len()];
-    map[NodeId::CONST0.index()] = Some(Lit::FALSE);
-    for id in aig.node_ids() {
-        match aig.kind(id) {
-            NodeKind::Const0 => {}
-            NodeKind::Input(_) => map[id.index()] = Some(out.add_pi()),
-            NodeKind::And(a, b) => {
-                if let Some(site) = sites.get(&id) {
-                    let ins: Vec<Lit> = site.inputs.iter().map(|&l| mapped(&map, l)).collect();
-                    let lit = site.program.build(&mut out, &ins);
-                    map[id.index()] =
-                        Some(lit.with_complement(lit.is_complement() ^ site.output_neg));
-                } else if dead[id.index()] {
-                    // Freed interior: nothing outside its site references it.
-                } else {
-                    let (fa, fb) = (mapped(&map, a), mapped(&map, b));
-                    map[id.index()] = Some(out.and(fa, fb));
-                }
-            }
-        }
-    }
-    for &po in aig.pos() {
-        out.add_po(mapped(&map, po));
-    }
-    if let Some(sta) = sta.take() {
-        // Hand the analysis back rebound to the reconstructed network:
-        // floors are cleared and only the changed cones are refreshed, so
-        // the next timing consumer (this pass's next round, or a later
-        // balance-slack) gets an exact analysis without a rebuild.
-        ctx.finish_sta(sta, &out);
-    }
-    (out, applied)
+    (sites, sta)
 }
 
 #[cfg(test)]

@@ -179,6 +179,7 @@ fn single_pass_pipelines_preserve_function() {
             passes: vec![kind],
             fixpoint: false,
             max_rounds: 1,
+            ..OptConfig::disabled()
         };
         let (opt, report) = optimize(&aig, &cfg);
         assert_eq!(report.rounds.len(), 1);
@@ -190,6 +191,43 @@ fn single_pass_pipelines_preserve_function() {
             "pass {} must preserve the function",
             kind.name()
         );
+    }
+}
+
+/// Tentpole acceptance: the default ID-stable in-place `sweep`/`rewrite`
+/// variants must produce networks byte-identical (same structural hash) to
+/// the from-scratch rebuild path across every pipeline flavor, on real
+/// benchmark circuits — the invariant that lets `rebuild_passes` stay out
+/// of the `OptConfig` fingerprint.
+#[test]
+fn in_place_passes_match_rebuild_path() {
+    for (name, aig) in [
+        ("adder16", epfl::adder(16)),
+        ("multiplier8", epfl::multiplier(8)),
+        ("sin8", epfl::sin(8)),
+        ("voter31", epfl::voter(31)),
+    ] {
+        for cfg in [
+            OptConfig::standard(),
+            OptConfig::slack_aware(),
+            OptConfig::dff_aware(4),
+        ] {
+            let mut rebuild_cfg = cfg.clone();
+            rebuild_cfg.rebuild_passes = true;
+            let (in_place, in_place_report) = optimize(&aig, &cfg);
+            let (rebuilt, rebuilt_report) = optimize(&aig, &rebuild_cfg);
+            assert_eq!(
+                in_place.structural_hash(),
+                rebuilt.structural_hash(),
+                "{name}: in-place and rebuild paths must be byte-identical"
+            );
+            assert_eq!(in_place_report.nodes_after, rebuilt_report.nodes_after);
+            assert_eq!(in_place_report.depth_after, rebuilt_report.depth_after);
+            assert_eq!(in_place.dead_count(), 0, "{name}: optimize returns dense");
+        }
+        let (opt, _) = optimize(&aig, &OptConfig::standard());
+        let cec = check_equivalence(&aig, &opt, &CecConfig::default()).unwrap();
+        assert_eq!(cec.verdict, CecVerdict::Equivalent, "{name}: CEC");
     }
 }
 

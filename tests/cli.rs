@@ -1031,3 +1031,76 @@ fn serve_shares_the_explore_config_vocabulary() {
         assert!(err.contains(token), "error must list '{token}': {err}");
     }
 }
+
+#[test]
+fn gen_random_then_opt_hashes_match_across_strategies() {
+    let aag = tmp("scale.aag");
+    let out = bin()
+        .args([
+            "gen",
+            "random",
+            "--nodes",
+            "3000",
+            "--seed",
+            "9",
+            "-o",
+            aag.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run gen random");
+    assert!(
+        out.status.success(),
+        "gen random failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Deterministic in (--nodes, --seed): a second generation is identical.
+    let aag2 = tmp("scale2.aag");
+    let out = bin()
+        .args([
+            "gen",
+            "random",
+            "--nodes",
+            "3000",
+            "--seed",
+            "9",
+            "-o",
+            aag2.to_str().unwrap(),
+        ])
+        .output()
+        .expect("rerun gen random");
+    assert!(out.status.success());
+    assert_eq!(
+        std::fs::read(&aag).unwrap(),
+        std::fs::read(&aag2).unwrap(),
+        "gen random must be deterministic in its seed"
+    );
+
+    // The in-place default and the --rebuild-passes strategy must print
+    // the same structural hash under --stats (byte-identical networks).
+    let hash_of = |extra: &[&str]| {
+        let mut args = vec!["opt", aag.to_str().unwrap(), "--fixpoint", "--stats"];
+        args.extend_from_slice(extra);
+        let out = bin().args(&args).output().expect("run opt");
+        assert!(
+            out.status.success(),
+            "opt failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find(|l| l.starts_with("structural hash:"))
+            .expect("--stats prints the structural hash")
+            .to_string()
+    };
+    assert_eq!(hash_of(&[]), hash_of(&["--rebuild-passes"]));
+
+    // A missing --nodes is a hard error naming the requirement.
+    let out = bin().args(["gen", "random"]).output().expect("run");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--nodes"),
+        "error must name --nodes"
+    );
+    let _ = std::fs::remove_file(&aag);
+    let _ = std::fs::remove_file(&aag2);
+}
